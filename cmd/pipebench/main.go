@@ -1,0 +1,110 @@
+// Command pipebench regenerates the tables and figures of the
+// reconstructed evaluation suite (see DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	pipebench -list
+//	pipebench -exp F1 [-seed 42] [-csv]
+//	pipebench -all [-seed 42]
+//
+// Each experiment prints its tables; -csv additionally dumps every
+// figure series as CSV for offline plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gridpipe/internal/bench"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments")
+		exp    = flag.String("exp", "", "experiment id to run (e.g. F1, T2)")
+		all    = flag.Bool("all", false, "run every experiment")
+		seed   = flag.Uint64("seed", 42, "random seed")
+		csv    = flag.Bool("csv", false, "also print figure series as CSV")
+		outdir = flag.String("outdir", "", "write every table and series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range bench.All() {
+			if err := runOne(e, *seed, *csv, *outdir); err != nil {
+				fmt.Fprintf(os.Stderr, "pipebench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	case *exp != "":
+		e, err := bench.ByID(*exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runOne(e, *seed, *csv, *outdir); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(e bench.Experiment, seed uint64, csv bool, outdir string) error {
+	res, err := e.Run(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	if csv {
+		for _, s := range res.Series {
+			fmt.Printf("\n--- series %s ---\n%s", s.Name, s.CSV())
+		}
+	}
+	if outdir != "" {
+		if err := export(res, outdir); err != nil {
+			return err
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+// export writes the result's tables and series as CSV files named
+// <id>_table<i>.csv and <id>_<series>.csv.
+func export(res *bench.Result, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		path := filepath.Join(dir, fmt.Sprintf("%s_table%d.csv", res.ID, i))
+		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	for _, s := range res.Series {
+		name := strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+				return r
+			default:
+				return '_'
+			}
+		}, s.Name)
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", res.ID, name))
+		if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

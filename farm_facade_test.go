@@ -1,0 +1,86 @@
+package gridpipe
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+)
+
+func TestFarmOrdered(t *testing.T) {
+	f, err := NewFarm(func(ctx context.Context, v any) (any, error) {
+		return v.(int) * 3, nil
+	}, FarmOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]any, 50)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := f.Process(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v.(int) != i*3 {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+	st := f.Stats()
+	if st.Done != 50 || st.Workers != 4 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestFarmUnordered(t *testing.T) {
+	f, err := NewFarm(func(ctx context.Context, v any) (any, error) {
+		return v, nil
+	}, FarmOptions{Workers: 3, Unordered: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []any{3, 1, 2}
+	out, err := f.Process(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []int{out[0].(int), out[1].(int), out[2].(int)}
+	sort.Ints(got)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("multiset wrong: %v", got)
+	}
+}
+
+func TestFarmErrors(t *testing.T) {
+	if _, err := NewFarm(nil, FarmOptions{}); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	boom := errors.New("boom")
+	f, err := NewFarm(func(ctx context.Context, v any) (any, error) {
+		return nil, boom
+	}, FarmOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Process(context.Background(), []any{1}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFarmSetWorkers(t *testing.T) {
+	f, err := NewFarm(func(ctx context.Context, v any) (any, error) { return v, nil },
+		FarmOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetWorkers(0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if err := f.SetWorkers(6); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Workers != 6 {
+		t.Fatalf("Workers = %d", f.Stats().Workers)
+	}
+}

@@ -1,0 +1,183 @@
+// Package gridpipe is an adaptive parallel pipeline pattern for grids:
+// a pipeline skeleton whose stages can be replicated and re-mapped at
+// run time in response to changing resource performance.
+//
+// The package offers two execution modes over one pipeline definition:
+//
+//   - Live: the stages are real Go functions executed by goroutines on
+//     the local machine with dynamic per-stage parallelism
+//     (SetReplicas), preserving eSkel Pipeline1for1 semantics — one
+//     output per input, in input order.
+//
+//   - Simulated: the pipeline's cost structure (per-stage service
+//     demand and message sizes) is executed on a modelled grid of
+//     heterogeneous, dynamically loaded nodes in virtual time, with the
+//     full adaptivity engine (monitor → forecast → model → remap).
+//     This is how the repository reproduces the paper's experiments;
+//     see DESIGN.md.
+//
+// Quick start:
+//
+//	p, _ := gridpipe.New(
+//	    gridpipe.Stage("parse", parseFn, gridpipe.Weight(0.02)),
+//	    gridpipe.Stage("align", alignFn, gridpipe.Weight(0.35),
+//	        gridpipe.Replicable(), gridpipe.Replicas(4)),
+//	    gridpipe.Stage("score", scoreFn, gridpipe.Weight(0.05)),
+//	)
+//	out, err := p.Process(ctx, inputs)        // live
+//	rep, err := p.Simulate(grid, opts)        // simulated
+package gridpipe
+
+import (
+	"context"
+	"fmt"
+
+	"gridpipe/internal/model"
+	"gridpipe/internal/pipeline"
+)
+
+// StageFunc is the computation of one live stage. It must be safe for
+// concurrent invocation when the stage is replicated.
+type StageFunc = pipeline.Func
+
+// StageDef describes one stage. Build with Stage.
+type StageDef struct {
+	name       string
+	fn         StageFunc
+	weight     float64
+	outBytes   float64
+	replicable bool
+	replicas   int
+	buffer     int
+}
+
+// StageOpt customises a stage definition.
+type StageOpt func(*StageDef)
+
+// Weight declares the stage's mean per-item service demand in
+// reference-seconds (seconds on an unloaded speed-1 processor). It
+// drives the simulation and the mapping model; the live mode measures
+// real durations instead.
+func Weight(w float64) StageOpt { return func(s *StageDef) { s.weight = w } }
+
+// OutBytes declares the size of the message each output sends to the
+// next stage (simulation only).
+func OutBytes(b float64) StageOpt { return func(s *StageDef) { s.outBytes = b } }
+
+// Replicable marks the stage as stateless, allowing the adaptivity
+// engine to farm it across nodes (and the live mode to run it with
+// multiple workers).
+func Replicable() StageOpt { return func(s *StageDef) { s.replicable = true } }
+
+// Replicas sets the live mode's initial worker count (default 1).
+func Replicas(n int) StageOpt { return func(s *StageDef) { s.replicas = n } }
+
+// Buffer sets the stage's live input-buffer capacity (default 1).
+func Buffer(n int) StageOpt { return func(s *StageDef) { s.buffer = n } }
+
+// Stage builds a stage definition. fn may be nil for simulation-only
+// pipelines.
+func Stage(name string, fn StageFunc, opts ...StageOpt) StageDef {
+	s := StageDef{name: name, fn: fn, weight: 0.1, replicas: 1, buffer: 1}
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// Pipeline is a pipeline definition runnable live or in simulation.
+type Pipeline struct {
+	defs []StageDef
+	spec model.PipelineSpec
+	live *pipeline.Pipeline // built lazily; single-use
+}
+
+// New validates the stage definitions and builds a pipeline.
+func New(stages ...StageDef) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("gridpipe: no stages")
+	}
+	p := &Pipeline{defs: append([]StageDef(nil), stages...)}
+	for i, s := range p.defs {
+		if s.name == "" {
+			return nil, fmt.Errorf("gridpipe: stage %d has no name", i)
+		}
+		if s.weight <= 0 {
+			return nil, fmt.Errorf("gridpipe: stage %q has non-positive weight", s.name)
+		}
+		p.spec.Stages = append(p.spec.Stages, model.StageSpec{
+			Name:       s.name,
+			Work:       s.weight,
+			OutBytes:   s.outBytes,
+			Replicable: s.replicable,
+		})
+	}
+	return p, nil
+}
+
+// NumStages returns the stage count.
+func (p *Pipeline) NumStages() int { return len(p.defs) }
+
+// buildLive constructs the single-use live pipeline.
+func (p *Pipeline) buildLive() (*pipeline.Pipeline, error) {
+	if p.live != nil {
+		return nil, fmt.Errorf("gridpipe: live pipeline already running (single-use)")
+	}
+	var stages []pipeline.Stage
+	for _, s := range p.defs {
+		if s.fn == nil {
+			return nil, fmt.Errorf("gridpipe: stage %q has no function (simulation-only pipeline?)", s.name)
+		}
+		reps := s.replicas
+		if !s.replicable {
+			reps = 1
+		}
+		stages = append(stages, pipeline.Stage{
+			Name: s.name, Fn: s.fn, Replicas: reps, Buffer: s.buffer,
+		})
+	}
+	lp, err := pipeline.New(stages...)
+	if err != nil {
+		return nil, err
+	}
+	p.live = lp
+	return lp, nil
+}
+
+// Process runs the pipeline live over the inputs and returns outputs in
+// input order.
+func (p *Pipeline) Process(ctx context.Context, inputs []any) ([]any, error) {
+	lp, err := p.buildLive()
+	if err != nil {
+		return nil, err
+	}
+	return lp.Process(ctx, inputs)
+}
+
+// Run starts the pipeline live over a stream. See
+// internal/pipeline.Pipeline.Run for channel semantics.
+func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan error, error) {
+	lp, err := p.buildLive()
+	if err != nil {
+		return nil, nil, err
+	}
+	out, errs := lp.Run(ctx, inputs)
+	return out, errs, nil
+}
+
+// SetReplicas adjusts a running live stage's worker limit.
+func (p *Pipeline) SetReplicas(stage, n int) error {
+	if p.live == nil {
+		return fmt.Errorf("gridpipe: pipeline not running live")
+	}
+	return p.live.SetReplicas(stage, n)
+}
+
+// LiveStats snapshots per-stage live counters (nil if not running
+// live).
+func (p *Pipeline) LiveStats() []pipeline.StageStats {
+	if p.live == nil {
+		return nil
+	}
+	return p.live.Stats()
+}

@@ -1,0 +1,349 @@
+// Package adaptive implements the adaptive pipeline controller — the
+// primary contribution reproduced from the paper. It closes the loop
+// between monitoring (internal/monitor), forecasting
+// (internal/forecast), modelling (internal/model), mapping search
+// (internal/sched) and actuation (internal/exec.Remap):
+//
+//	sense node loads → forecast near-future performance →
+//	re-evaluate candidate mappings under the analytic model →
+//	remap/replicate when the predicted gain clears a hysteresis bar.
+//
+// Three trigger policies are compared in experiment A1:
+//
+//   - Periodic: re-evaluate the mapping every interval regardless of
+//     symptoms (the simplest correct policy, but it churns).
+//   - Reactive: re-evaluate only when observed throughput degrades
+//     against the model's expectation for the current mapping, or the
+//     stage service times become imbalanced.
+//   - Predictive: like Reactive, but decisions use the forecaster
+//     battery's near-future load estimates instead of the last
+//     measurement, so the controller moves before a building load
+//     spike fully lands.
+//
+// An Oracle mode (true instantaneous loads, no forecast error) gives
+// the upper bound reported in figure F1.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"gridpipe/internal/exec"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/monitor"
+	"gridpipe/internal/sched"
+	"gridpipe/internal/sim"
+)
+
+// Policy selects the controller's trigger-and-estimate strategy.
+type Policy int
+
+const (
+	// PolicyStatic never adapts (baseline; the controller is inert).
+	PolicyStatic Policy = iota
+	// PolicyPeriodic re-evaluates every interval using last-measured
+	// loads.
+	PolicyPeriodic
+	// PolicyReactive re-evaluates when throughput degrades or stages
+	// become imbalanced, using last-measured loads.
+	PolicyReactive
+	// PolicyPredictive is reactive triggering plus forecasted loads
+	// for both the trigger and the decision.
+	PolicyPredictive
+	// PolicyOracle re-evaluates every interval with exact
+	// instantaneous loads (no sensing or forecasting error).
+	PolicyOracle
+)
+
+// String renders the policy name used in experiment tables.
+func (p Policy) String() string {
+	switch p {
+	case PolicyStatic:
+		return "static"
+	case PolicyPeriodic:
+		return "periodic"
+	case PolicyReactive:
+		return "reactive"
+	case PolicyPredictive:
+		return "predictive"
+	case PolicyOracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config tunes a Controller.
+type Config struct {
+	Policy Policy
+	// Interval is the sensing/decision period in virtual seconds
+	// (default 1).
+	Interval float64
+	// DegradationFactor triggers re-evaluation when observed
+	// throughput falls below this fraction of the model's expectation
+	// for the current mapping (default 0.7).
+	DegradationFactor float64
+	// ImbalanceThreshold triggers re-evaluation when the max/min stage
+	// service-time ratio exceeds it (default 3).
+	ImbalanceThreshold float64
+	// HysteresisGain is the minimum predicted throughput ratio
+	// new/current required to actually remap (default 1.15). It is the
+	// knob that stops oscillation; experiments F3 and A3 sweep the
+	// regime where it matters.
+	HysteresisGain float64
+	// Cooldown is the minimum virtual time between two remaps
+	// (default 0 = none). A second anti-churn guard, independent of the
+	// predicted gain.
+	Cooldown float64
+	// Protocol is how in-flight work is handled on remap.
+	Protocol exec.RemapProtocol
+	// MaxReplicas bounds stage replication width (0 = grid size).
+	MaxReplicas int
+	// Searcher finds candidate mappings (default LocalSearch).
+	Searcher sched.Searcher
+	// ThroughputWindow is the trailing window for observed throughput
+	// (default 5×Interval).
+	ThroughputWindow float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 1
+	}
+	if c.DegradationFactor <= 0 {
+		c.DegradationFactor = 0.7
+	}
+	if c.ImbalanceThreshold <= 0 {
+		c.ImbalanceThreshold = 3
+	}
+	if c.HysteresisGain <= 0 {
+		c.HysteresisGain = 1.15
+	}
+	if c.Searcher == nil {
+		c.Searcher = sched.LocalSearch{Seed: 1}
+	}
+	if c.ThroughputWindow <= 0 {
+		c.ThroughputWindow = 5 * c.Interval
+	}
+}
+
+// Event records one actual reconfiguration.
+type Event struct {
+	Time         float64
+	From, To     model.Mapping
+	PredictedOld float64
+	PredictedNew float64
+	Stats        exec.RemapStats
+}
+
+// Stats summarises a controller's activity.
+type Stats struct {
+	Ticks    int
+	Searches int
+	Remaps   int
+	Events   []Event
+}
+
+// Controller drives adaptation of one executor.
+type Controller struct {
+	eng  *sim.Engine
+	g    *grid.Grid
+	ex   *exec.Executor
+	spec model.PipelineSpec
+	cfg  Config
+
+	sensors []*monitor.NodeSensor
+	ticker  *sim.Ticker
+	stats   Stats
+}
+
+// NewController builds a controller. Call Start before running the
+// engine. The executor must run the same spec on the same grid.
+func NewController(eng *sim.Engine, g *grid.Grid, ex *exec.Executor, spec model.PipelineSpec, cfg Config) (*Controller, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	c := &Controller{eng: eng, g: g, ex: ex, spec: spec, cfg: cfg}
+	c.sensors = make([]*monitor.NodeSensor, g.NumNodes())
+	for i := range c.sensors {
+		c.sensors[i] = monitor.NewNodeSensor(g.Node(grid.NodeID(i)), nil)
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the controller's activity counters.
+func (c *Controller) Stats() Stats {
+	out := c.stats
+	out.Events = append([]Event(nil), c.stats.Events...)
+	return out
+}
+
+// Start installs the periodic sensing/decision tick. A static
+// controller installs nothing.
+func (c *Controller) Start() {
+	if c.cfg.Policy == PolicyStatic {
+		return
+	}
+	c.ticker = sim.NewTicker(c.eng, c.cfg.Interval, c.tick)
+}
+
+// Stop cancels the decision loop.
+func (c *Controller) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+// loadEstimates returns the per-node load vector the current policy
+// decides with.
+func (c *Controller) loadEstimates(now float64) []float64 {
+	loads := make([]float64, len(c.sensors))
+	for i, s := range c.sensors {
+		switch c.cfg.Policy {
+		case PolicyOracle:
+			n := c.g.Node(grid.NodeID(i))
+			if n.Load != nil {
+				loads[i] = n.Load.At(now)
+			}
+		case PolicyPredictive:
+			loads[i] = s.PredictedLoad()
+		default: // periodic, reactive
+			l := s.LastLoad()
+			if math.IsNaN(l) {
+				l = 0
+			}
+			loads[i] = l
+		}
+	}
+	return loads
+}
+
+// tick is one sensing/decision round.
+func (c *Controller) tick(now float64) {
+	c.stats.Ticks++
+	for _, s := range c.sensors {
+		s.Sample(now)
+	}
+	loads := c.loadEstimates(now)
+
+	currentPred, err := model.Predict(c.g, c.spec, c.ex.Mapping(), loads)
+	if err != nil {
+		// The spec and mapping were validated at construction; a
+		// failure here is a programming error worth surfacing loudly
+		// in simulation.
+		panic(fmt.Sprintf("adaptive: predict current mapping: %v", err))
+	}
+
+	if c.cfg.Cooldown > 0 && len(c.stats.Events) > 0 &&
+		now-c.stats.Events[len(c.stats.Events)-1].Time < c.cfg.Cooldown {
+		return
+	}
+	if !c.shouldSearch(now, currentPred.Throughput) {
+		return
+	}
+	c.stats.Searches++
+
+	cand, candPred, err := c.cfg.Searcher.Search(c.g, c.spec, loads)
+	if err != nil {
+		panic(fmt.Sprintf("adaptive: search: %v", err))
+	}
+	cand, candPred, err = sched.ImproveWithReplication(c.g, c.spec, cand, loads, c.cfg.MaxReplicas)
+	if err != nil {
+		panic(fmt.Sprintf("adaptive: replication: %v", err))
+	}
+
+	if candPred.Throughput < c.cfg.HysteresisGain*currentPred.Throughput {
+		return // not worth the disruption
+	}
+	old := c.ex.Mapping()
+	if cand.Equal(old) {
+		return
+	}
+	st, err := c.ex.Remap(cand, c.cfg.Protocol)
+	if err != nil {
+		panic(fmt.Sprintf("adaptive: remap: %v", err))
+	}
+	if !st.Changed {
+		return
+	}
+	c.stats.Remaps++
+	c.stats.Events = append(c.stats.Events, Event{
+		Time:         now,
+		From:         old,
+		To:           cand,
+		PredictedOld: currentPred.Throughput,
+		PredictedNew: candPred.Throughput,
+		Stats:        st,
+	})
+}
+
+// normalizedImbalance returns the ratio of the largest to the smallest
+// per-stage slowdown, where slowdown is windowed mean service time
+// divided by the stage's specified demand. A healthy mapping keeps all
+// slowdowns comparable; a loaded or slow node inflates its stages'
+// slowdowns only.
+func (c *Controller) normalizedImbalance() float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	n := 0
+	for i, st := range c.spec.Stages {
+		if st.Work <= 0 {
+			continue
+		}
+		v := c.ex.Monitor().Stage(i).MeanService()
+		if math.IsNaN(v) {
+			continue
+		}
+		s := v / st.Work
+		n++
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if n < 2 || min <= 0 {
+		return math.NaN()
+	}
+	return max / min
+}
+
+// shouldSearch evaluates the trigger for the current policy.
+func (c *Controller) shouldSearch(now, expected float64) bool {
+	switch c.cfg.Policy {
+	case PolicyPeriodic, PolicyOracle:
+		return true
+	case PolicyReactive, PolicyPredictive:
+		// Degradation trigger: observed vs model expectation.
+		obs := c.ex.Monitor().RecentThroughput(c.cfg.ThroughputWindow, now)
+		if !math.IsNaN(obs) && expected > 0 && obs < c.cfg.DegradationFactor*expected {
+			return true
+		}
+		// Imbalance trigger: one stage's *slowdown* (observed service
+		// over specified demand) far exceeds another's — a placement
+		// problem, as opposed to the pipeline simply having unequal
+		// stages.
+		if imb := c.normalizedImbalance(); !math.IsNaN(imb) && imb > c.cfg.ImbalanceThreshold {
+			return true
+		}
+		// Predictive additionally searches when the forecast loads make
+		// the current mapping look substantially worse than it was
+		// promised at the last remap — i.e. trouble is coming even if
+		// throughput has not collapsed yet.
+		if c.cfg.Policy == PolicyPredictive {
+			if len(c.stats.Events) > 0 {
+				last := c.stats.Events[len(c.stats.Events)-1]
+				if expected < c.cfg.DegradationFactor*last.PredictedNew {
+					return true
+				}
+			} else if obsNaN := math.IsNaN(obs); !obsNaN && expected > 0 && obs < expected*c.cfg.DegradationFactor {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}

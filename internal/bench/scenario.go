@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"gridpipe/internal/adaptive"
+	"gridpipe/internal/exec"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/rng"
+	"gridpipe/internal/sched"
+	"gridpipe/internal/sim"
+	"gridpipe/internal/trace"
+	"gridpipe/internal/workload"
+)
+
+// stepTrace is a zero load that jumps to level at t.
+func stepTrace(t, level float64) trace.Trace {
+	return trace.NewSteps(0, trace.StepChange{T: t, Load: level})
+}
+
+// rngFor returns a fresh deterministic generator for a seed.
+func rngFor(seed uint64) *rng.Rand { return rng.New(seed) }
+
+// runOutcome is what one policy run of a scenario produced.
+type runOutcome struct {
+	Policy   adaptive.Policy
+	Done     int
+	Makespan float64 // only for fixed-item runs
+	Exec     *exec.Executor
+	Ctrl     adaptive.Stats
+}
+
+// runConfig describes one simulated pipeline run.
+type runConfig struct {
+	Grid     *grid.Grid
+	App      workload.App
+	Initial  model.Mapping
+	Policy   adaptive.Policy
+	Protocol exec.RemapProtocol
+	Interval float64 // controller period (default 1)
+	Seed     uint64
+	// Exactly one of Items / Duration must be set.
+	Items       int
+	Duration    float64
+	MaxInFlight int
+	// Sampler overrides the app's per-item work sampler when non-nil.
+	Sampler func(stage, seq int) float64
+}
+
+// run executes the configuration and returns the outcome.
+func run(c runConfig) (runOutcome, error) {
+	if (c.Items > 0) == (c.Duration > 0) {
+		return runOutcome{}, fmt.Errorf("bench: set exactly one of Items/Duration")
+	}
+	eng := &sim.Engine{}
+	maxIF := c.MaxInFlight
+	if maxIF <= 0 {
+		maxIF = 4 * c.App.Spec.NumStages()
+	}
+	sampler := c.Sampler
+	if sampler == nil {
+		sampler = c.App.Sampler(c.Seed)
+	}
+	ex, err := exec.New(eng, c.Grid, c.App.Spec, c.Initial, exec.Options{
+		MaxInFlight: maxIF,
+		WorkSampler: sampler,
+		Seed:        c.Seed,
+	})
+	if err != nil {
+		return runOutcome{}, err
+	}
+	ctrl, err := adaptive.NewController(eng, c.Grid, ex, c.App.Spec, adaptive.Config{
+		Policy:   c.Policy,
+		Interval: c.Interval,
+		Protocol: c.Protocol,
+		Searcher: sched.LocalSearch{Seed: c.Seed + 1},
+	})
+	if err != nil {
+		return runOutcome{}, err
+	}
+	ctrl.Start()
+	out := runOutcome{Policy: c.Policy, Exec: ex}
+	if c.Items > 0 {
+		ms, err := ex.RunItems(c.Items)
+		if err != nil {
+			return runOutcome{}, err
+		}
+		out.Makespan = ms
+		out.Done = c.Items
+	} else {
+		out.Done = ex.RunUntil(c.Duration)
+	}
+	ctrl.Stop()
+	out.Ctrl = ctrl.Stats()
+	return out, nil
+}
+
+// initialMapping searches a good zero-load mapping: the placement a
+// deployment-time scheduler would pick before any dynamism appears.
+func initialMapping(g *grid.Grid, app workload.App, seed uint64) (model.Mapping, error) {
+	m, _, err := (sched.LocalSearch{Seed: seed}).Search(g, app.Spec, nil)
+	if err != nil {
+		return model.Mapping{}, err
+	}
+	m, _, err = sched.ImproveWithReplication(g, app.Spec, m, nil, 0)
+	return m, err
+}
+
+// spikeGrid builds an n-node homogeneous grid where the given node is
+// hit by a background-load step of the given level at spikeAt.
+func spikeGrid(n int, victim int, spikeAt, level float64) (*grid.Grid, error) {
+	nodes := make([]*grid.Node, n)
+	for i := range nodes {
+		nodes[i] = &grid.Node{Name: fmt.Sprintf("node%d", i), Speed: 1, Cores: 1}
+	}
+	if victim >= 0 && victim < n {
+		nodes[victim].Load = stepTrace(spikeAt, level)
+	}
+	return grid.NewGrid(grid.LANLink, nodes...)
+}
+
+// mainPolicies is the policy set compared across the figures.
+var mainPolicies = []adaptive.Policy{
+	adaptive.PolicyStatic,
+	adaptive.PolicyReactive,
+	adaptive.PolicyPredictive,
+	adaptive.PolicyOracle,
+}

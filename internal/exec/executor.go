@@ -1,0 +1,376 @@
+// Package exec runs a mapped pipeline on the simulated grid in virtual
+// time. It is the measurement substrate of every experiment: the
+// analytic model predicts, exec measures.
+//
+// Execution model
+//
+//   - Each grid node is a FCFS server with Cores service slots shared
+//     by all stages mapped to it; service durations integrate the
+//     node's time-varying effective speed.
+//   - Each directed node pair is a FCFS link whose occupancy is the
+//     bandwidth term of a transfer; the latency term is a pure delay
+//     that overlaps with subsequent transfers (a pipelined network).
+//   - Input admission is CONWIP-style: a bounded number of items is in
+//     flight at once (a saturated source behind a window), which is the
+//     discrete-event analogue of the bounded inter-stage buffers of the
+//     real skeleton. An optional Poisson arrival process replaces the
+//     saturated source for latency studies.
+//   - Replicated stages deal items round-robin across replicas.
+//
+// Reconfiguration (Remap) supports two protocols measured in
+// experiment A2: drain-safe (queued items migrate with a paid transfer,
+// in-service items finish where they run — nothing is lost) and
+// kill-restart (in-service items on re-mapped stages are aborted and
+// redone at the new location).
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/monitor"
+	"gridpipe/internal/sim"
+)
+
+// Options tune an Executor.
+type Options struct {
+	// MaxInFlight is the CONWIP window: the number of items admitted
+	// into the pipeline at once. Zero means 2× the stage count.
+	MaxInFlight int
+	// TotalItems bounds the run; zero means unlimited (use RunUntil).
+	TotalItems int
+	// ArrivalRate, when positive, replaces the saturated source with a
+	// Poisson process of that rate (items/s).
+	ArrivalRate float64
+	// WorkSampler returns the service demand in reference-seconds of
+	// item seq at stage. Nil means the deterministic spec work.
+	WorkSampler func(stage, seq int) float64
+	// MonitorWindow is the per-stage sample window (0 = default).
+	MonitorWindow int
+	// Seed drives the Poisson arrival stream.
+	Seed uint64
+}
+
+// RemapProtocol selects how in-flight work is handled during a remap.
+type RemapProtocol int
+
+const (
+	// DrainSafe migrates queued items (paying their transfer) and lets
+	// in-service items complete where they run. No work is lost.
+	DrainSafe RemapProtocol = iota
+	// KillRestart aborts in-service items of stages whose placement
+	// changed and redoes them at the new location.
+	KillRestart
+)
+
+// String renders the protocol name.
+func (p RemapProtocol) String() string {
+	switch p {
+	case DrainSafe:
+		return "drain-safe"
+	case KillRestart:
+		return "kill-restart"
+	default:
+		return fmt.Sprintf("protocol(%d)", int(p))
+	}
+}
+
+// RemapStats reports what one reconfiguration did.
+type RemapStats struct {
+	// Moved is the number of queued items migrated to new nodes.
+	Moved int
+	// Killed is the number of in-service items aborted (KillRestart).
+	Killed int
+	// RedoneWork is the reference-seconds of service discarded.
+	RedoneWork float64
+	// Changed reports whether any stage actually moved.
+	Changed bool
+}
+
+// item is one unit flowing through the pipeline.
+type item struct {
+	seq     int
+	stage   int       // current stage index
+	work    []float64 // sampled service demand per stage (lazily filled)
+	started float64   // admission time
+}
+
+// task is an item waiting for or receiving service at a stage replica.
+type task struct {
+	it         *item
+	node       grid.NodeID
+	completion *sim.Event // non-nil while in service
+	serviceT0  float64
+}
+
+// Executor simulates one pipeline run.
+type Executor struct {
+	eng     *sim.Engine
+	g       *grid.Grid
+	spec    model.PipelineSpec
+	mapping model.Mapping
+	opts    Options
+
+	mon   *monitor.Monitor
+	nodes []*nodeServer
+	links map[linkKey]*linkServer
+
+	rr []int // round-robin counters per stage
+
+	admitted   int
+	inFlight   int
+	completed  int
+	migrations int     // items moved by remaps
+	redone     float64 // reference-seconds redone after kills
+
+	latencies []float64 // per-item pipeline traversal times
+	poisson   *poissonSource
+}
+
+type linkKey struct{ a, b grid.NodeID }
+
+// New builds an executor; the pipeline starts admitting items when
+// Start is called.
+func New(eng *sim.Engine, g *grid.Grid, spec model.PipelineSpec, m model.Mapping, opts Options) (*Executor, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(spec.NumStages(), g.NumNodes()); err != nil {
+		return nil, err
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 2 * spec.NumStages()
+	}
+	e := &Executor{
+		eng:     eng,
+		g:       g,
+		spec:    spec,
+		mapping: m.Clone(),
+		opts:    opts,
+		mon:     monitor.New(spec.NumStages(), opts.MonitorWindow),
+		links:   map[linkKey]*linkServer{},
+		rr:      make([]int, spec.NumStages()),
+	}
+	e.nodes = make([]*nodeServer, g.NumNodes())
+	for i := range e.nodes {
+		e.nodes[i] = newNodeServer(e, g.Node(grid.NodeID(i)))
+	}
+	if opts.ArrivalRate > 0 {
+		e.poisson = newPoissonSource(opts.Seed, opts.ArrivalRate)
+	}
+	return e, nil
+}
+
+// Monitor exposes the run-time instrumentation.
+func (e *Executor) Monitor() *monitor.Monitor { return e.mon }
+
+// Mapping returns a copy of the current mapping.
+func (e *Executor) Mapping() model.Mapping { return e.mapping.Clone() }
+
+// Done returns the number of completed items.
+func (e *Executor) Done() int { return e.completed }
+
+// Admitted returns the number of items that entered the pipeline.
+func (e *Executor) Admitted() int { return e.admitted }
+
+// InFlight returns the number of items currently inside the pipeline.
+func (e *Executor) InFlight() int { return e.inFlight }
+
+// Migrations returns how many queued items remaps have moved.
+func (e *Executor) Migrations() int { return e.migrations }
+
+// RedoneWork returns the reference-seconds discarded by kill-restart
+// remaps.
+func (e *Executor) RedoneWork() float64 { return e.redone }
+
+// Latencies returns per-item pipeline traversal times in completion
+// order (shared slice).
+func (e *Executor) Latencies() []float64 { return e.latencies }
+
+// Start begins admitting items. With a Poisson source it schedules the
+// first arrival; with the saturated source it fills the CONWIP window.
+func (e *Executor) Start() {
+	if e.poisson != nil {
+		e.scheduleNextArrival()
+		return
+	}
+	for e.canAdmit() {
+		e.admit()
+	}
+}
+
+func (e *Executor) canAdmit() bool {
+	if e.opts.TotalItems > 0 && e.admitted >= e.opts.TotalItems {
+		return false
+	}
+	return e.inFlight < e.opts.MaxInFlight
+}
+
+func (e *Executor) scheduleNextArrival() {
+	if e.opts.TotalItems > 0 && e.admitted >= e.opts.TotalItems {
+		return
+	}
+	gap := e.poisson.next()
+	e.eng.Schedule(gap, func() {
+		// Poisson arrivals ignore the window: queueing is the point.
+		e.admit()
+		e.scheduleNextArrival()
+	})
+}
+
+// admit injects the next item at the source node.
+func (e *Executor) admit() {
+	it := &item{
+		seq:     e.admitted,
+		stage:   0,
+		work:    make([]float64, e.spec.NumStages()),
+		started: e.eng.Now(),
+	}
+	for i := range it.work {
+		it.work[i] = math.NaN() // sampled lazily at first service
+	}
+	e.admitted++
+	e.inFlight++
+	dest := e.pickReplica(0)
+	e.transfer(it, e.spec.Source, dest, e.spec.InBytes)
+}
+
+// pickReplica deals the next item of a stage round-robin.
+func (e *Executor) pickReplica(stage int) grid.NodeID {
+	replicas := e.mapping.Assign[stage]
+	n := replicas[e.rr[stage]%len(replicas)]
+	e.rr[stage]++
+	return n
+}
+
+// transfer moves an item (or its result) from node a towards node b,
+// then delivers it. Intra-node movement is effectively free.
+func (e *Executor) transfer(it *item, a, b grid.NodeID, bytes float64) {
+	if a == b {
+		e.deliver(it, b, 0)
+		return
+	}
+	e.link(a, b).enqueue(it, bytes)
+}
+
+func (e *Executor) link(a, b grid.NodeID) *linkServer {
+	k := linkKey{a, b}
+	ls, ok := e.links[k]
+	if !ok {
+		ls = newLinkServer(e, e.g.Link(a, b), b)
+		e.links[k] = ls
+	}
+	return ls
+}
+
+// deliver hands an item to a node. If the item's current stage is no
+// longer mapped there (the mapping changed while it was in flight), it
+// is forwarded to a live replica — an extra hop, exactly what a real
+// redirect costs.
+func (e *Executor) deliver(it *item, n grid.NodeID, transferDur float64) {
+	if it.stage >= e.spec.NumStages() {
+		// Arrived at the sink: the item is done.
+		e.complete(it)
+		return
+	}
+	if transferDur > 0 {
+		e.mon.Stage(it.stage).RecordTransfer(transferDur)
+	}
+	if !onNode(e.mapping.Assign[it.stage], n) {
+		dest := e.pickReplica(it.stage)
+		e.transfer(it, n, dest, e.bytesInto(it.stage))
+		return
+	}
+	e.nodes[n].enqueue(it)
+}
+
+// bytesInto returns the message size entering the given stage.
+func (e *Executor) bytesInto(stage int) float64 {
+	if stage == 0 {
+		return e.spec.InBytes
+	}
+	return e.spec.Stages[stage-1].OutBytes
+}
+
+// serviceWork returns (sampling if needed) the service demand of an
+// item at its current stage.
+func (e *Executor) serviceWork(it *item) float64 {
+	w := it.work[it.stage]
+	if math.IsNaN(w) {
+		if e.opts.WorkSampler != nil {
+			w = e.opts.WorkSampler(it.stage, it.seq)
+			if w < 0 || math.IsNaN(w) {
+				panic(fmt.Sprintf("exec: work sampler returned %v", w))
+			}
+		} else {
+			w = e.spec.Stages[it.stage].Work
+		}
+		it.work[it.stage] = w
+	}
+	return w
+}
+
+// stageFinished is called when a node completes service for an item.
+func (e *Executor) stageFinished(it *item, n grid.NodeID, serviceDur float64) {
+	e.mon.Stage(it.stage).RecordService(serviceDur, e.eng.Now())
+	out := e.spec.Stages[it.stage].OutBytes
+	it.stage++
+	if it.stage >= e.spec.NumStages() {
+		e.transfer(it, n, e.spec.Sink, out)
+		return
+	}
+	dest := e.pickReplica(it.stage)
+	e.transfer(it, n, dest, out)
+}
+
+func (e *Executor) complete(it *item) {
+	e.completed++
+	e.inFlight--
+	now := e.eng.Now()
+	e.mon.RecordCompletion(now)
+	e.latencies = append(e.latencies, now-it.started)
+	if e.poisson == nil {
+		for e.canAdmit() {
+			e.admit()
+		}
+	}
+}
+
+// RunItems admits and processes exactly n items to completion,
+// returning the virtual makespan. It must be called before any events
+// have run. It steps the engine only until the n-th completion, so
+// perpetual background events (an adaptive controller's ticker, load
+// sensors) do not keep the run alive.
+func (e *Executor) RunItems(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("exec: RunItems with n=%d", n)
+	}
+	e.opts.TotalItems = n
+	e.Start()
+	start := e.eng.Now()
+	for e.completed < n && e.eng.Step() {
+	}
+	if e.completed != n {
+		return 0, fmt.Errorf("exec: completed %d of %d items (deadlock?)", e.completed, n)
+	}
+	return e.eng.Now() - start, nil
+}
+
+// RunUntil processes items (saturated or Poisson source) until virtual
+// time t, returning the number completed.
+func (e *Executor) RunUntil(t float64) int {
+	e.Start()
+	e.eng.RunUntil(t)
+	return e.completed
+}
+
+func onNode(nodes []grid.NodeID, id grid.NodeID) bool {
+	for _, n := range nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

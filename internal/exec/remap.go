@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+)
+
+// Remap switches the executor to a new mapping at the current virtual
+// time, handling in-flight work according to the protocol:
+//
+//   - queued items whose stage left their node migrate, paying a real
+//     transfer of their inbound message (both protocols);
+//   - in-service items finish where they run under DrainSafe, or are
+//     aborted and redone at the new location under KillRestart;
+//   - items in transit are untouched and redirect on arrival.
+//
+// It returns what the reconfiguration did; remapping to the current
+// mapping is a no-op.
+func (e *Executor) Remap(nm model.Mapping, protocol RemapProtocol) (RemapStats, error) {
+	if err := nm.Validate(e.spec.NumStages(), e.g.NumNodes()); err != nil {
+		return RemapStats{}, err
+	}
+	var st RemapStats
+	if nm.Equal(e.mapping) {
+		return st, nil
+	}
+	st.Changed = true
+
+	changed := make([]bool, e.spec.NumStages())
+	for i := range e.mapping.Assign {
+		changed[i] = !sameNodes(e.mapping.Assign[i], nm.Assign[i])
+	}
+
+	e.mapping = nm.Clone()
+	// Restart round-robin dealing cleanly over the new replica sets.
+	for i := range e.rr {
+		e.rr[i] = 0
+	}
+	// Windowed samples describe the old placement; drop them so the
+	// monitor reflects the new one.
+	e.mon.ResetStages()
+
+	for _, ns := range e.nodes {
+		nodeID := ns.node.ID
+		removed := ns.removeQueued(func(it *item) bool {
+			return changed[it.stage] && !onNode(e.mapping.Assign[it.stage], nodeID)
+		})
+		for _, t := range removed {
+			st.Moved++
+			e.migrations++
+			dest := e.pickReplica(t.it.stage)
+			e.transfer(t.it, nodeID, dest, e.bytesInto(t.it.stage))
+		}
+
+		if protocol == KillRestart {
+			var victims []*task
+			for t := range ns.inService {
+				if changed[t.it.stage] && !onNode(e.mapping.Assign[t.it.stage], nodeID) {
+					victims = append(victims, t)
+				}
+			}
+			for _, t := range victims {
+				ns.abort(t)
+				st.Killed++
+				st.RedoneWork += t.it.work[t.it.stage]
+				e.redone += t.it.work[t.it.stage]
+				dest := e.pickReplica(t.it.stage)
+				e.transfer(t.it, nodeID, dest, e.bytesInto(t.it.stage))
+			}
+		}
+	}
+	return st, nil
+}
+
+func sameNodes(a, b []grid.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"gridpipe/internal/grid"
+	"gridpipe/internal/rng"
+)
+
+// nodeServer is the FCFS multi-slot server of one grid node. All
+// stages mapped to the node share its Cores service slots, which is the
+// executable counterpart of the analytic model's "aggregate busy time
+// per node" assumption.
+type nodeServer struct {
+	e     *Executor
+	node  *grid.Node
+	queue []*task
+	busy  int
+	// inService tracks tasks currently holding a slot, for the
+	// kill-restart protocol.
+	inService map[*task]struct{}
+}
+
+func newNodeServer(e *Executor, n *grid.Node) *nodeServer {
+	return &nodeServer{e: e, node: n, inService: map[*task]struct{}{}}
+}
+
+// enqueue adds an item for service at its current stage.
+func (s *nodeServer) enqueue(it *item) {
+	t := &task{it: it, node: s.node.ID}
+	s.queue = append(s.queue, t)
+	s.dispatch()
+}
+
+// dispatch starts service while slots and work are available.
+func (s *nodeServer) dispatch() {
+	for s.busy < s.node.Cores && len(s.queue) > 0 {
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(t)
+	}
+}
+
+func (s *nodeServer) start(t *task) {
+	s.busy++
+	s.inService[t] = struct{}{}
+	now := s.e.eng.Now()
+	t.serviceT0 = now
+	work := s.e.serviceWork(t.it)
+	dur := s.node.ServiceDuration(work, now)
+	t.completion = s.e.eng.Schedule(dur, func() {
+		s.finish(t)
+	})
+}
+
+func (s *nodeServer) finish(t *task) {
+	delete(s.inService, t)
+	s.busy--
+	now := s.e.eng.Now()
+	s.e.stageFinished(t.it, s.node.ID, now-t.serviceT0)
+	s.dispatch()
+}
+
+// abort cancels an in-service task (kill-restart protocol) and frees
+// its slot. The caller re-routes the item.
+func (s *nodeServer) abort(t *task) {
+	if t.completion != nil {
+		t.completion.Cancel()
+		t.completion = nil
+	}
+	delete(s.inService, t)
+	s.busy--
+	s.dispatch()
+}
+
+// removeQueued extracts every queued task whose item's current stage
+// satisfies the predicate, without disturbing relative order of the
+// rest.
+func (s *nodeServer) removeQueued(pred func(*item) bool) []*task {
+	var removed []*task
+	kept := s.queue[:0]
+	for _, t := range s.queue {
+		if pred(t.it) {
+			removed = append(removed, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	// Zero the tail so removed tasks are not retained by the backing
+	// array.
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = kept
+	return removed
+}
+
+// linkServer serialises transfers over one directed link: the
+// bandwidth term occupies the link FCFS, the latency term is a pure
+// trailing delay (transfers pipeline behind each other as on a real
+// path).
+type linkServer struct {
+	e    *Executor
+	link grid.Link
+	// dest is the receiving node: one linkServer exists per directed
+	// node pair. Redirects on arrival are handled by deliver.
+	dest  grid.NodeID
+	queue []pendingTx
+	busy  bool
+}
+
+type pendingTx struct {
+	it    *item
+	bytes float64
+}
+
+func newLinkServer(e *Executor, l grid.Link, dest grid.NodeID) *linkServer {
+	return &linkServer{e: e, link: l, dest: dest}
+}
+
+func (s *linkServer) enqueue(it *item, bytes float64) {
+	s.queue = append(s.queue, pendingTx{it: it, bytes: bytes})
+	s.pump()
+}
+
+func (s *linkServer) pump() {
+	if s.busy || len(s.queue) == 0 {
+		return
+	}
+	tx := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	now := s.e.eng.Now()
+	// Occupy the link for the serialisation time only.
+	serial := s.link.TransferDuration(tx.bytes, now) - s.link.Latency
+	if serial < 0 {
+		serial = 0
+	}
+	s.e.eng.Schedule(serial, func() {
+		s.busy = false
+		s.pump()
+		// Latency is pure delay after the wire is free again.
+		total := serial + s.link.Latency
+		s.e.eng.Schedule(s.link.Latency, func() {
+			s.e.deliver(tx.it, s.dest, total)
+		})
+	})
+}
+
+// poissonSource generates exponential inter-arrival gaps.
+type poissonSource struct {
+	r    *rng.Rand
+	rate float64
+}
+
+func newPoissonSource(seed uint64, rate float64) *poissonSource {
+	return &poissonSource{r: rng.New(seed), rate: rate}
+}
+
+func (p *poissonSource) next() float64 { return p.r.Exp(p.rate) }

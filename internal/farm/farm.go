@@ -1,0 +1,292 @@
+// Package farm implements the task-farm skeleton, the pipeline's
+// sibling pattern in the eSkel family and the building block behind
+// stage replication: a dynamic pool of workers applies one function to
+// a stream of independent tasks.
+//
+// The farm preserves input order on request (the default matches the
+// pipeline's 1-for-1 discipline) and its worker count is resizable at
+// run time — the live counterpart of the adaptivity engine's replicate
+// action, exposed as a standalone skeleton so applications that are a
+// single parallel stage need not wrap themselves in a pipeline.
+package farm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridpipe/internal/pipeline"
+)
+
+// Func is the worker computation. It must be safe for concurrent
+// invocation.
+type Func func(ctx context.Context, v any) (any, error)
+
+// Options tune a Farm.
+type Options struct {
+	// Workers is the initial worker limit (default 1).
+	Workers int
+	// Buffer is the input buffer capacity (default the worker count).
+	Buffer int
+	// Unordered delivers results as they complete instead of in input
+	// order. Ordered delivery (the default) matches Pipeline1for1.
+	Unordered bool
+}
+
+// Stats is a snapshot of the farm's counters.
+type Stats struct {
+	Workers     int
+	Done        int
+	MeanService time.Duration
+	MaxService  time.Duration
+}
+
+// Farm is a runnable task farm. Create with New; single-use like the
+// pipeline skeleton.
+type Farm struct {
+	fn   Func
+	opts Options
+
+	mu      sync.Mutex
+	ran     bool
+	pl      *pipeline.Pipeline // ordered mode delegates to a 1-stage pipeline
+	unCount int
+	unMean  *meanAcc
+	limit   *dynLimiter
+}
+
+// New validates and builds a farm.
+func New(fn Func, opts Options) (*Farm, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("farm: nil function")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = opts.Workers
+	}
+	return &Farm{fn: fn, opts: opts, unMean: &meanAcc{}}, nil
+}
+
+// Run starts the farm over the input stream. Semantics mirror
+// pipeline.Pipeline.Run: the output channel closes after the inputs
+// drain (or on failure/cancellation); the error channel carries at most
+// one error.
+func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan error) {
+	f.mu.Lock()
+	if f.ran {
+		f.mu.Unlock()
+		panic("farm: Run called twice")
+	}
+	f.ran = true
+
+	if !f.opts.Unordered {
+		pl, err := pipeline.New(pipeline.Stage{
+			Name:     "farm",
+			Fn:       pipeline.Func(f.fn),
+			Replicas: f.opts.Workers,
+			Buffer:   f.opts.Buffer,
+		})
+		if err != nil {
+			// New validated everything that pipeline.New checks.
+			panic(fmt.Sprintf("farm: internal construction error: %v", err))
+		}
+		f.pl = pl
+		f.mu.Unlock()
+		return pl.Run(ctx, inputs)
+	}
+
+	// Unordered mode: a plain resizable worker pool.
+	f.limit = newDynLimiter(f.opts.Workers)
+	f.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(ctx)
+	out := make(chan any, f.opts.Buffer)
+	errs := make(chan error, 1)
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	var workers sync.WaitGroup
+	go func() {
+		defer func() {
+			workers.Wait()
+			if firstErr == nil && ctx.Err() != nil {
+				firstErr = ctx.Err()
+			}
+			if firstErr != nil {
+				errs <- firstErr
+			}
+			close(errs)
+			close(out)
+			cancel()
+		}()
+		for {
+			var v any
+			var ok bool
+			select {
+			case v, ok = <-inputs:
+			case <-ctx.Done():
+				ok = false
+			}
+			if !ok {
+				return
+			}
+			f.limit.acquire()
+			workers.Add(1)
+			go func(v any) {
+				defer workers.Done()
+				defer f.limit.release()
+				t0 := time.Now()
+				r, err := f.fn(ctx, v)
+				d := time.Since(t0)
+				f.mu.Lock()
+				f.unCount++
+				f.unMean.add(d)
+				f.mu.Unlock()
+				if err != nil {
+					fail(fmt.Errorf("farm: %w", err))
+					return
+				}
+				select {
+				case out <- r:
+				case <-ctx.Done():
+				}
+			}(v)
+		}
+	}()
+	return out, errs
+}
+
+// Process runs the farm over a slice. In ordered mode the outputs align
+// with the inputs; in unordered mode they arrive in completion order.
+func (f *Farm) Process(ctx context.Context, inputs []any) ([]any, error) {
+	in := make(chan any)
+	go func() {
+		defer close(in)
+		for _, v := range inputs {
+			select {
+			case in <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out, errs := f.Run(ctx, in)
+	var results []any
+	for v := range out {
+		results = append(results, v)
+	}
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	if len(results) != len(inputs) {
+		return nil, fmt.Errorf("farm: %d outputs for %d inputs", len(results), len(inputs))
+	}
+	return results, nil
+}
+
+// SetWorkers resizes the pool (minimum 1); callable while running.
+func (f *Farm) SetWorkers(n int) error {
+	if n < 1 {
+		return fmt.Errorf("farm: SetWorkers(%d) below 1", n)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opts.Workers = n
+	if f.pl != nil {
+		return f.pl.SetReplicas(0, n)
+	}
+	if f.limit != nil {
+		f.limit.setLimit(n)
+	}
+	return nil
+}
+
+// Stats snapshots the farm's counters.
+func (f *Farm) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pl != nil {
+		st := f.pl.Stats()[0]
+		return Stats{
+			Workers:     st.Replicas,
+			Done:        st.Count,
+			MeanService: st.MeanService,
+			MaxService:  st.MaxService,
+		}
+	}
+	return Stats{
+		Workers:     f.opts.Workers,
+		Done:        f.unCount,
+		MeanService: f.unMean.mean(),
+		MaxService:  f.unMean.max,
+	}
+}
+
+// meanAcc is a tiny duration accumulator for the unordered path.
+type meanAcc struct {
+	n   int
+	sum time.Duration
+	max time.Duration
+}
+
+func (m *meanAcc) add(d time.Duration) {
+	m.n++
+	m.sum += d
+	if d > m.max {
+		m.max = d
+	}
+}
+
+func (m *meanAcc) mean() time.Duration {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / time.Duration(m.n)
+}
+
+// dynLimiter is a resizable concurrency limiter (unordered mode).
+type dynLimiter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	limit int
+	inUse int
+}
+
+func newDynLimiter(n int) *dynLimiter {
+	l := &dynLimiter{limit: n}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *dynLimiter) acquire() {
+	l.mu.Lock()
+	for l.inUse >= l.limit {
+		l.cond.Wait()
+	}
+	l.inUse++
+	l.mu.Unlock()
+}
+
+func (l *dynLimiter) release() {
+	l.mu.Lock()
+	l.inUse--
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *dynLimiter) setLimit(n int) {
+	l.mu.Lock()
+	l.limit = n
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}

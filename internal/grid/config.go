@@ -1,0 +1,159 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gridpipe/internal/rng"
+	"gridpipe/internal/trace"
+)
+
+// TraceSpec is the JSON description of a load trace, a tagged union on
+// Kind. It exists so CLI tools can describe grid scenarios in plain
+// config files.
+type TraceSpec struct {
+	Kind string `json:"kind"` // constant|steps|ramp|sine|walk|burst
+
+	// constant
+	Load float64 `json:"load,omitempty"`
+
+	// steps
+	Initial float64         `json:"initial,omitempty"`
+	Changes []TraceSpecStep `json:"changes,omitempty"`
+
+	// ramp
+	T0   float64 `json:"t0,omitempty"`
+	T1   float64 `json:"t1,omitempty"`
+	From float64 `json:"from,omitempty"`
+	To   float64 `json:"to,omitempty"`
+
+	// sine
+	Base   float64 `json:"base,omitempty"`
+	Amp    float64 `json:"amp,omitempty"`
+	Period float64 `json:"period,omitempty"`
+	Phase  float64 `json:"phase,omitempty"`
+
+	// walk & burst (stochastic, pre-sampled over Horizon at Dt)
+	Horizon float64 `json:"horizon,omitempty"`
+	Dt      float64 `json:"dt,omitempty"`
+	Mean    float64 `json:"mean,omitempty"`
+	Sigma   float64 `json:"sigma,omitempty"`
+	Theta   float64 `json:"theta,omitempty"`
+	Burst   float64 `json:"burst,omitempty"`
+	OffMean float64 `json:"offMean,omitempty"`
+	OnMean  float64 `json:"onMean,omitempty"`
+	Seed    uint64  `json:"seed,omitempty"`
+}
+
+// TraceSpecStep is one breakpoint of a "steps" TraceSpec.
+type TraceSpecStep struct {
+	T    float64 `json:"t"`
+	Load float64 `json:"load"`
+}
+
+// Build materialises the spec into a Trace.
+func (ts *TraceSpec) Build() (trace.Trace, error) {
+	switch ts.Kind {
+	case "", "constant":
+		return trace.Constant(ts.Load), nil
+	case "steps":
+		cs := make([]trace.StepChange, len(ts.Changes))
+		for i, c := range ts.Changes {
+			cs[i] = trace.StepChange{T: c.T, Load: c.Load}
+		}
+		return trace.NewSteps(ts.Initial, cs...), nil
+	case "ramp":
+		return trace.Ramp{T0: ts.T0, T1: ts.T1, From: ts.From, To: ts.To}, nil
+	case "sine":
+		return trace.Sine{Base: ts.Base, Amp: ts.Amp, Period: ts.Period, Phase: ts.Phase}, nil
+	case "walk":
+		if ts.Horizon <= 0 || ts.Dt <= 0 {
+			return nil, fmt.Errorf("grid: walk trace needs positive horizon and dt")
+		}
+		return trace.NewRandomWalk(rng.New(ts.Seed), ts.Horizon, ts.Dt, ts.Mean, ts.Sigma, ts.Theta), nil
+	case "burst":
+		if ts.Horizon <= 0 || ts.Dt <= 0 || ts.OffMean <= 0 || ts.OnMean <= 0 {
+			return nil, fmt.Errorf("grid: burst trace needs positive horizon, dt, offMean, onMean")
+		}
+		return trace.NewMarkovBurst(rng.New(ts.Seed), ts.Horizon, ts.Dt, ts.Base, ts.Burst, ts.OffMean, ts.OnMean), nil
+	default:
+		return nil, fmt.Errorf("grid: unknown trace kind %q", ts.Kind)
+	}
+}
+
+// NodeSpec is the JSON description of one processor.
+type NodeSpec struct {
+	Name  string     `json:"name"`
+	Speed float64    `json:"speed"`
+	Cores int        `json:"cores,omitempty"` // default 1
+	Load  *TraceSpec `json:"load,omitempty"`
+}
+
+// LinkSpec is the JSON description of a link override between two named
+// nodes (applied symmetrically).
+type LinkSpec struct {
+	A         string  `json:"a"`
+	B         string  `json:"b"`
+	Latency   float64 `json:"latency"`
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+// Config is the JSON description of a whole grid.
+type Config struct {
+	DefaultLink LinkSpec   `json:"defaultLink"`
+	Nodes       []NodeSpec `json:"nodes"`
+	Links       []LinkSpec `json:"links,omitempty"`
+}
+
+// Build materialises the configuration into a Grid.
+func (c *Config) Build() (*Grid, error) {
+	if len(c.Nodes) == 0 {
+		return nil, fmt.Errorf("grid: config has no nodes")
+	}
+	def := Link{Latency: c.DefaultLink.Latency, Bandwidth: c.DefaultLink.Bandwidth}
+	if def.Bandwidth == 0 {
+		def = LANLink
+	}
+	nodes := make([]*Node, len(c.Nodes))
+	for i, ns := range c.Nodes {
+		cores := ns.Cores
+		if cores == 0 {
+			cores = 1
+		}
+		var ld trace.Trace
+		if ns.Load != nil {
+			var err error
+			ld, err = ns.Load.Build()
+			if err != nil {
+				return nil, fmt.Errorf("node %q: %w", ns.Name, err)
+			}
+		}
+		nodes[i] = &Node{Name: ns.Name, Speed: ns.Speed, Cores: cores, Load: ld}
+	}
+	g, err := NewGrid(def, nodes...)
+	if err != nil {
+		return nil, err
+	}
+	for _, ls := range c.Links {
+		na, nb := g.NodeByName(ls.A), g.NodeByName(ls.B)
+		if na == nil || nb == nil {
+			return nil, fmt.Errorf("grid: link references unknown node %q or %q", ls.A, ls.B)
+		}
+		if err := g.SetLink(na.ID, nb.ID, Link{Latency: ls.Latency, Bandwidth: ls.Bandwidth}); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// LoadConfig parses a JSON grid configuration.
+func LoadConfig(r io.Reader) (*Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("grid: parsing config: %w", err)
+	}
+	return &c, nil
+}

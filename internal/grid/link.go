@@ -1,0 +1,51 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"gridpipe/internal/trace"
+)
+
+// Link describes the connection between an ordered pair of nodes.
+type Link struct {
+	Latency   float64 // one-way latency in seconds
+	Bandwidth float64 // bytes per second
+
+	// Quality optionally degrades bandwidth over time: effective
+	// bandwidth at t is Bandwidth*(1-Quality.At(t)). Nil means stable.
+	Quality trace.Trace
+}
+
+// LocalLink is the implicit link of a node to itself: effectively free.
+// A tiny non-zero latency keeps event ordering stable and mirrors the
+// "really high rate" intra-machine transfers of the era's models.
+var LocalLink = Link{Latency: 1e-7, Bandwidth: 100e9}
+
+// TransferDuration returns the time to move the given number of bytes
+// across the link starting at time t.
+func (l Link) TransferDuration(bytes, t float64) float64 {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("grid: TransferDuration with invalid size %v", bytes))
+	}
+	bw := l.Bandwidth
+	if l.Quality != nil {
+		bw *= 1 - l.Quality.At(t)
+	}
+	if bw <= 0 {
+		// A degraded link never fully stops; floor at 1 byte/s so the
+		// simulation cannot deadlock on a transfer.
+		bw = 1
+	}
+	return l.Latency + bytes/bw
+}
+
+func (l Link) validate() error {
+	if l.Latency < 0 || math.IsNaN(l.Latency) {
+		return fmt.Errorf("grid: negative link latency %v", l.Latency)
+	}
+	if l.Bandwidth <= 0 || math.IsNaN(l.Bandwidth) {
+		return fmt.Errorf("grid: non-positive link bandwidth %v", l.Bandwidth)
+	}
+	return nil
+}

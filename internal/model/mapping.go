@@ -1,0 +1,215 @@
+// Package model defines the pipeline/mapping vocabulary shared by the
+// scheduler, executor and adaptivity engine, and implements two
+// performance models over it:
+//
+//   - an analytic bottleneck (saturation) model that predicts the
+//     steady-state throughput of a mapped pipeline from per-stage work,
+//     node speeds/loads and link bandwidths (throughput.go), and
+//   - an exact continuous-time Markov-chain solver for small blocking
+//     tandem lines (ctmc.go, tandem.go) used to validate the analytic
+//     model's assumptions in experiment T2.
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"gridpipe/internal/grid"
+)
+
+// Mapping assigns every pipeline stage to one or more grid nodes.
+// Assign[i] lists the nodes hosting stage i; more than one node means
+// the stage is replicated (farmed) with items dealt round-robin.
+type Mapping struct {
+	Assign [][]grid.NodeID
+}
+
+// NumStages returns the number of stages the mapping covers.
+func (m Mapping) NumStages() int { return len(m.Assign) }
+
+// SingleNode maps all ns stages onto one node.
+func SingleNode(ns int, node grid.NodeID) Mapping {
+	a := make([][]grid.NodeID, ns)
+	for i := range a {
+		a[i] = []grid.NodeID{node}
+	}
+	return Mapping{Assign: a}
+}
+
+// OneToOne maps stage i onto node i.
+func OneToOne(ns int) Mapping {
+	a := make([][]grid.NodeID, ns)
+	for i := range a {
+		a[i] = []grid.NodeID{grid.NodeID(i)}
+	}
+	return Mapping{Assign: a}
+}
+
+// FromNodes builds an unreplicated mapping from a per-stage node list,
+// the tuple notation of the era's mapping tables: FromNodes(0, 0, 1)
+// puts stages 1-2 on node 0 and stage 3 on node 1.
+func FromNodes(nodes ...grid.NodeID) Mapping {
+	a := make([][]grid.NodeID, len(nodes))
+	for i, n := range nodes {
+		a[i] = []grid.NodeID{n}
+	}
+	return Mapping{Assign: a}
+}
+
+// Contiguous maps a partition of stages into consecutive groups onto
+// the given nodes: sizes[i] stages go to nodes[i]. It panics if the
+// sizes and nodes disagree.
+func Contiguous(sizes []int, nodes []grid.NodeID) Mapping {
+	if len(sizes) != len(nodes) {
+		panic("model: Contiguous sizes/nodes length mismatch")
+	}
+	var a [][]grid.NodeID
+	for gi, sz := range sizes {
+		if sz <= 0 {
+			panic("model: Contiguous with non-positive group size")
+		}
+		for k := 0; k < sz; k++ {
+			a = append(a, []grid.NodeID{nodes[gi]})
+		}
+	}
+	return Mapping{Assign: a}
+}
+
+// WithReplicas returns a copy of m with stage i replicated across the
+// given nodes.
+func (m Mapping) WithReplicas(stage int, nodes ...grid.NodeID) Mapping {
+	out := m.Clone()
+	ns := make([]grid.NodeID, len(nodes))
+	copy(ns, nodes)
+	out.Assign[stage] = ns
+	return out
+}
+
+// Clone returns a deep copy.
+func (m Mapping) Clone() Mapping {
+	a := make([][]grid.NodeID, len(m.Assign))
+	for i, ns := range m.Assign {
+		a[i] = append([]grid.NodeID(nil), ns...)
+	}
+	return Mapping{Assign: a}
+}
+
+// Validate checks the mapping against a pipeline of ns stages on a grid
+// of np nodes.
+func (m Mapping) Validate(ns, np int) error {
+	if len(m.Assign) != ns {
+		return fmt.Errorf("model: mapping covers %d stages, pipeline has %d", len(m.Assign), ns)
+	}
+	for i, nodes := range m.Assign {
+		if len(nodes) == 0 {
+			return fmt.Errorf("model: stage %d has no nodes", i)
+		}
+		seen := map[grid.NodeID]bool{}
+		for _, n := range nodes {
+			if int(n) < 0 || int(n) >= np {
+				return fmt.Errorf("model: stage %d mapped to invalid node %d", i, n)
+			}
+			if seen[n] {
+				return fmt.Errorf("model: stage %d lists node %d twice", i, n)
+			}
+			seen[n] = true
+		}
+	}
+	return nil
+}
+
+// Equal reports whether two mappings are identical.
+func (m Mapping) Equal(o Mapping) bool {
+	if len(m.Assign) != len(o.Assign) {
+		return false
+	}
+	for i := range m.Assign {
+		if len(m.Assign[i]) != len(o.Assign[i]) {
+			return false
+		}
+		for j := range m.Assign[i] {
+			if m.Assign[i][j] != o.Assign[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NodesUsed returns the distinct nodes the mapping touches.
+func (m Mapping) NodesUsed() []grid.NodeID {
+	seen := map[grid.NodeID]bool{}
+	var out []grid.NodeID
+	for _, nodes := range m.Assign {
+		for _, n := range nodes {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the mapping in tuple notation, e.g. "(0,0,1)" or
+// "(0,{1,2},3)" when stage 2 is replicated on nodes 1 and 2.
+func (m Mapping) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, nodes := range m.Assign {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if len(nodes) == 1 {
+			fmt.Fprintf(&b, "%d", nodes[0])
+		} else {
+			b.WriteByte('{')
+			for j, n := range nodes {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%d", n)
+			}
+			b.WriteByte('}')
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// EnumerationLimit caps EnumerateAll's output; np^ns grows fast and the
+// exhaustive search is only meant for the small configurations of the
+// validation tables.
+const EnumerationLimit = 1 << 20
+
+// EnumerateAll returns every unreplicated mapping of ns stages onto np
+// nodes (np^ns mappings). It panics if the count would exceed
+// EnumerationLimit; larger spaces must use the heuristic searches in
+// internal/sched.
+func EnumerateAll(ns, np int) []Mapping {
+	if ns <= 0 || np <= 0 {
+		panic("model: EnumerateAll with non-positive dimensions")
+	}
+	count := 1
+	for i := 0; i < ns; i++ {
+		count *= np
+		if count > EnumerationLimit {
+			panic(fmt.Sprintf("model: enumeration of %d^%d mappings exceeds limit", np, ns))
+		}
+	}
+	out := make([]Mapping, 0, count)
+	assign := make([]grid.NodeID, ns)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == ns {
+			out = append(out, FromNodes(assign...))
+			return
+		}
+		for n := 0; n < np; n++ {
+			assign[i] = grid.NodeID(n)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

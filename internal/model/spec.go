@@ -1,0 +1,80 @@
+package model
+
+import (
+	"fmt"
+
+	"gridpipe/internal/grid"
+)
+
+// StageSpec describes one pipeline stage for modelling purposes.
+type StageSpec struct {
+	// Name labels the stage in tables and logs.
+	Name string
+	// Work is the mean per-item service demand in reference-seconds
+	// (seconds on an unloaded speed-1.0 node).
+	Work float64
+	// OutBytes is the size of the message each processed item sends to
+	// the next stage (or to the sink for the last stage).
+	OutBytes float64
+	// Replicable marks stages that keep no inter-item state and may be
+	// farmed across several nodes by the adaptivity engine.
+	Replicable bool
+}
+
+// PipelineSpec describes a whole pipeline for modelling: the stages
+// plus where inputs originate and outputs must be delivered.
+type PipelineSpec struct {
+	Stages []StageSpec
+	// InBytes is the size of each raw input entering stage 1 from the
+	// source.
+	InBytes float64
+	// Source and Sink are the nodes holding the input and collecting
+	// the output (the "user" endpoints of the era's models).
+	Source, Sink grid.NodeID
+}
+
+// NumStages returns the number of stages.
+func (p PipelineSpec) NumStages() int { return len(p.Stages) }
+
+// TotalWork returns the summed per-item service demand across stages.
+func (p PipelineSpec) TotalWork() float64 {
+	s := 0.0
+	for _, st := range p.Stages {
+		s += st.Work
+	}
+	return s
+}
+
+// Validate reports specification errors.
+func (p PipelineSpec) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("model: pipeline has no stages")
+	}
+	for i, st := range p.Stages {
+		if st.Work < 0 {
+			return fmt.Errorf("model: stage %d (%s) has negative work %v", i, st.Name, st.Work)
+		}
+		if st.OutBytes < 0 {
+			return fmt.Errorf("model: stage %d (%s) has negative output size %v", i, st.Name, st.OutBytes)
+		}
+	}
+	if p.InBytes < 0 {
+		return fmt.Errorf("model: negative input size %v", p.InBytes)
+	}
+	return nil
+}
+
+// Balanced returns a pipeline of ns identical stages, a standard
+// fixture across tests and scalability experiments.
+func Balanced(ns int, work, bytes float64) PipelineSpec {
+	stages := make([]StageSpec, ns)
+	for i := range stages {
+		stages[i] = StageSpec{
+			Name:       fmt.Sprintf("stage%d", i),
+			Work:       work,
+			OutBytes:   bytes,
+			Replicable: true,
+		}
+	}
+	return PipelineSpec{Stages: stages, InBytes: bytes}
+}

@@ -1,0 +1,192 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// DepartureTag marks the CTMC transitions in which an item leaves the
+// last stage of a tandem line.
+const DepartureTag = "departure"
+
+// stage statuses in the tandem-line state vector.
+const (
+	stEmpty = iota
+	stBusy
+	stBlocked
+)
+
+// tandemState is the full state of a blocking tandem line: the status
+// of each stage plus the occupancy of each inter-stage buffer.
+type tandemState struct {
+	status []int
+	buf    []int
+}
+
+func (s tandemState) clone() tandemState {
+	return tandemState{
+		status: append([]int(nil), s.status...),
+		buf:    append([]int(nil), s.buf...),
+	}
+}
+
+// key encodes the state uniquely for deduplication.
+func (s tandemState) key(bufCap int) uint64 {
+	k := uint64(0)
+	for _, st := range s.status {
+		k = k*3 + uint64(st)
+	}
+	for _, b := range s.buf {
+		k = k*uint64(bufCap+1) + uint64(b)
+	}
+	return k
+}
+
+// normalize advances all instantaneous moves to a fixpoint: the source
+// refills stage 0, buffers feed empty stages, and blocked stages push
+// into free buffer slots. Move times are treated as negligible relative
+// to service times — the regime in which the analytic model is expected
+// to hold, which is exactly what T2 probes.
+func normalize(s tandemState, bufCap int) tandemState {
+	n := len(s.status)
+	for changed := true; changed; {
+		changed = false
+		if s.status[0] == stEmpty {
+			s.status[0] = stBusy
+			changed = true
+		}
+		for g := 0; g+1 < n; g++ {
+			if s.buf[g] > 0 && s.status[g+1] == stEmpty {
+				s.buf[g]--
+				s.status[g+1] = stBusy
+				changed = true
+			}
+			if s.status[g] == stBlocked && s.buf[g] < bufCap {
+				s.buf[g]++
+				s.status[g] = stEmpty
+				changed = true
+			}
+			// Direct handoff when there is no buffering in between
+			// (bufCap may be zero, or the buffer just drained): a
+			// blocked stage feeds its now-empty successor.
+			if s.status[g] == stBlocked && s.status[g+1] == stEmpty && s.buf[g] == 0 {
+				s.status[g] = stEmpty
+				s.status[g+1] = stBusy
+				changed = true
+			}
+		}
+		// The last stage never blocks: the sink always accepts.
+		if s.status[n-1] == stBlocked {
+			s.status[n-1] = stEmpty
+			changed = true
+		}
+	}
+	return s
+}
+
+// TandemResult bundles the exact solution of a blocking tandem line.
+type TandemResult struct {
+	Throughput float64
+	States     int
+}
+
+// SolveTandem builds and solves the CTMC of a saturated tandem line of
+// exponential stages with rates mus and bufCap buffer slots between
+// consecutive stages, returning its exact steady-state throughput.
+//
+// Classic closed forms it reproduces (checked in tests):
+//   - one stage: throughput = µ;
+//   - two equal stages, no buffer: 2µ/3;
+//   - throughput is monotone in bufCap and approaches min(µ) from
+//     below as buffers grow.
+func SolveTandem(mus []float64, bufCap int) (TandemResult, error) {
+	n := len(mus)
+	if n == 0 {
+		return TandemResult{}, fmt.Errorf("model: SolveTandem with no stages")
+	}
+	if bufCap < 0 {
+		return TandemResult{}, fmt.Errorf("model: negative buffer capacity")
+	}
+	for i, mu := range mus {
+		if mu <= 0 || math.IsNaN(mu) {
+			return TandemResult{}, fmt.Errorf("model: stage %d has invalid rate %v", i, mu)
+		}
+	}
+
+	// Breadth-first state-space exploration from the all-busy start.
+	init := normalize(tandemState{status: make([]int, n), buf: make([]int, maxInt(n-1, 0))}, bufCap)
+	index := map[uint64]int{init.key(bufCap): 0}
+	states := []tandemState{init}
+	type trans struct {
+		from, to int
+		rate     float64
+		depart   bool
+	}
+	var transitions []trans
+	for head := 0; head < len(states); head++ {
+		cur := states[head]
+		for i := 0; i < n; i++ {
+			if cur.status[i] != stBusy {
+				continue
+			}
+			next := cur.clone()
+			next.status[i] = stBlocked
+			next = normalize(next, bufCap)
+			k := next.key(bufCap)
+			idx, ok := index[k]
+			if !ok {
+				idx = len(states)
+				index[k] = idx
+				states = append(states, next)
+			}
+			transitions = append(transitions, trans{head, idx, mus[i], i == n-1})
+		}
+	}
+
+	c := NewCTMC(len(states))
+	realEdges := 0
+	for _, tr := range transitions {
+		tag := ""
+		if tr.depart {
+			tag = DepartureTag
+		}
+		if tr.from == tr.to {
+			// A completion that leaves the (normalized) state unchanged
+			// still represents a departure; a CTMC self-loop has no
+			// effect on the stationary distribution, so we account for
+			// it in the flow directly below instead of adding an edge.
+			continue
+		}
+		c.AddTagged(tr.from, tr.to, tr.rate, tag)
+		realEdges++
+	}
+	var pi []float64
+	if realEdges == 0 {
+		// Degenerate single-recurrent-state chain (e.g. a one-stage
+		// line, which refills instantly on every completion).
+		pi = make([]float64, len(states))
+		pi[0] = 1
+	} else {
+		var err error
+		pi, err = c.SteadyState()
+		if err != nil {
+			return TandemResult{}, err
+		}
+	}
+	tp := c.FlowTag(pi, DepartureTag)
+	// Add back departure self-loops (possible for n == 1, where a
+	// completion refills instantly and the state never changes).
+	for _, tr := range transitions {
+		if tr.depart && tr.from == tr.to {
+			tp += pi[tr.from] * tr.rate
+		}
+	}
+	return TandemResult{Throughput: tp, States: len(states)}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"gridpipe/internal/grid"
+)
+
+// Prediction is the analytic model's estimate for one mapping.
+type Prediction struct {
+	// Throughput is the predicted steady-state output rate in items/s.
+	Throughput float64
+	// NodeBusy[n] is the predicted busy time per pipeline item on node
+	// n in seconds (already divided by the node's core count).
+	NodeBusy []float64
+	// BottleneckNode is the node limiting throughput, or -1 when a
+	// link is the bottleneck.
+	BottleneckNode grid.NodeID
+	// LinkBound is the throughput bound imposed by the most loaded
+	// link (+Inf when no inter-node traffic).
+	LinkBound float64
+	// Latency is the predicted one-item traversal time of an empty
+	// pipeline (service + transfer along the path), the model's
+	// pipeline-fill estimate.
+	Latency float64
+}
+
+// Predict estimates the steady-state throughput of the pipeline under
+// the given mapping.
+//
+// loads[n] is the background-load estimate for node n (from the
+// forecaster battery at run time, or time-averaged traces offline); nil
+// means all idle. The model is a saturation analysis:
+//
+//   - each node is a server processing its stages' aggregate per-item
+//     work at effective speed; throughput ≤ cores / busy-per-item;
+//   - each directed link is a pipe moving the per-item bytes crossing
+//     it; throughput ≤ bandwidth / bytes-per-item;
+//   - the pipeline rate is the minimum bound (latency affects fill
+//     time, not steady-state rate).
+//
+// Replicated stages deal items round-robin, so each of k replicas
+// receives 1/k of the per-item work and each replica pair link 1/(k·k')
+// of the traffic.
+func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Prediction, error) {
+	if err := spec.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if err := m.Validate(spec.NumStages(), g.NumNodes()); err != nil {
+		return Prediction{}, err
+	}
+	if loads != nil && len(loads) != g.NumNodes() {
+		return Prediction{}, fmt.Errorf("model: %d load estimates for %d nodes", len(loads), g.NumNodes())
+	}
+	loadOf := func(n grid.NodeID) float64 {
+		if loads == nil {
+			return 0
+		}
+		l := loads[n]
+		if l < 0 {
+			return 0
+		}
+		if l > 0.99 {
+			return 0.99
+		}
+		return l
+	}
+
+	// Per-node busy seconds per item.
+	busy := make([]float64, g.NumNodes())
+	for i, st := range spec.Stages {
+		replicas := m.Assign[i]
+		share := 1 / float64(len(replicas))
+		for _, n := range replicas {
+			node := g.Node(n)
+			eff := node.Speed * (1 - loadOf(n))
+			busy[n] += share * st.Work / eff
+		}
+	}
+
+	// Per-directed-link bytes per item.
+	type pair struct{ a, b grid.NodeID }
+	linkBytes := map[pair]float64{}
+	addFlow := func(from, to []grid.NodeID, bytes float64) {
+		if bytes == 0 {
+			return
+		}
+		share := bytes / float64(len(from)*len(to))
+		for _, a := range from {
+			for _, b := range to {
+				if a != b {
+					linkBytes[pair{a, b}] += share
+				}
+			}
+		}
+	}
+	source := []grid.NodeID{spec.Source}
+	sink := []grid.NodeID{spec.Sink}
+	addFlow(source, m.Assign[0], spec.InBytes)
+	for i := 0; i+1 < len(spec.Stages); i++ {
+		addFlow(m.Assign[i], m.Assign[i+1], spec.Stages[i].OutBytes)
+	}
+	addFlow(m.Assign[len(spec.Stages)-1], sink, spec.Stages[len(spec.Stages)-1].OutBytes)
+
+	// Bounds.
+	tp := math.Inf(1)
+	bottleneck := grid.NodeID(-1)
+	for n := range busy {
+		if busy[n] <= 0 {
+			continue
+		}
+		perCore := busy[n] / float64(g.Node(grid.NodeID(n)).Cores)
+		busy[n] = perCore
+		if bound := 1 / perCore; bound < tp {
+			tp = bound
+			bottleneck = grid.NodeID(n)
+		}
+	}
+	linkBound := math.Inf(1)
+	for p, bytes := range linkBytes {
+		bw := g.Link(p.a, p.b).Bandwidth
+		if bound := bw / bytes; bound < linkBound {
+			linkBound = bound
+		}
+	}
+	if linkBound < tp {
+		tp = linkBound
+		bottleneck = -1
+	}
+
+	// One-item latency through an empty pipeline: service on the first
+	// replica of each stage plus transfer along the first-replica path.
+	lat := 0.0
+	prev := spec.Source
+	prevBytes := spec.InBytes
+	for i, st := range spec.Stages {
+		n := m.Assign[i][0]
+		if prev != n {
+			lat += g.Link(prev, n).TransferDuration(prevBytes, 0)
+		}
+		node := g.Node(n)
+		lat += st.Work / (node.Speed * (1 - loadOf(n)))
+		prev, prevBytes = n, st.OutBytes
+	}
+	if prev != spec.Sink {
+		lat += g.Link(prev, spec.Sink).TransferDuration(prevBytes, 0)
+	}
+
+	return Prediction{
+		Throughput:     tp,
+		NodeBusy:       busy,
+		BottleneckNode: bottleneck,
+		LinkBound:      linkBound,
+		Latency:        lat,
+	}, nil
+}
+
+// Best evaluates every candidate and returns the index and prediction
+// of the highest-throughput mapping. Ties break towards the earlier
+// candidate, which makes the choice deterministic.
+func Best(g *grid.Grid, spec PipelineSpec, candidates []Mapping, loads []float64) (int, Prediction, error) {
+	if len(candidates) == 0 {
+		return -1, Prediction{}, fmt.Errorf("model: no candidate mappings")
+	}
+	bestIdx := -1
+	var bestPred Prediction
+	for i, m := range candidates {
+		p, err := Predict(g, spec, m, loads)
+		if err != nil {
+			return -1, Prediction{}, fmt.Errorf("candidate %d (%s): %w", i, m, err)
+		}
+		if bestIdx < 0 || p.Throughput > bestPred.Throughput {
+			bestIdx, bestPred = i, p
+		}
+	}
+	return bestIdx, bestPred, nil
+}

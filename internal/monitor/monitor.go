@@ -1,0 +1,243 @@
+// Package monitor implements the run-time instrumentation the
+// adaptivity engine consumes: per-stage service and transfer samples,
+// pipeline throughput probes, and node-load sensors feeding the
+// forecaster battery.
+//
+// In a deployed grid the sensors would be NWS daemons; in this
+// reproduction they sample the simulated load traces at the same
+// cadence a daemon would measure, so the adaptation logic sees exactly
+// the kind of signal it was designed for.
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"gridpipe/internal/forecast"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/stats"
+)
+
+// DefaultWindow is the number of recent samples retained per stage.
+const DefaultWindow = 32
+
+// StageMonitor accumulates timing observations for one pipeline stage.
+type StageMonitor struct {
+	service  *stats.Ring
+	transfer *stats.Ring
+	count    int
+	lastDone float64
+	// exponentially smoothed inter-departure time; its inverse is the
+	// stage's observed throughput.
+	interDep *stats.EWMA
+}
+
+// NewStageMonitor returns a stage monitor with the given sample window.
+func NewStageMonitor(window int) *StageMonitor {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &StageMonitor{
+		service:  stats.NewRing(window),
+		transfer: stats.NewRing(window),
+		interDep: stats.NewEWMA(0.2),
+		lastDone: math.NaN(),
+	}
+}
+
+// RecordService notes that the stage finished processing one item at
+// time now, having spent dur seconds of service.
+func (m *StageMonitor) RecordService(dur, now float64) {
+	m.service.Add(dur)
+	m.count++
+	if !math.IsNaN(m.lastDone) && now > m.lastDone {
+		m.interDep.Add(now - m.lastDone)
+	}
+	m.lastDone = now
+}
+
+// RecordTransfer notes an inbound transfer of dur seconds.
+func (m *StageMonitor) RecordTransfer(dur float64) { m.transfer.Add(dur) }
+
+// Count returns the number of items the stage has completed.
+func (m *StageMonitor) Count() int { return m.count }
+
+// MeanService returns the windowed mean service time (NaN when no
+// samples).
+func (m *StageMonitor) MeanService() float64 { return m.service.Mean() }
+
+// MeanTransfer returns the windowed mean inbound transfer time.
+func (m *StageMonitor) MeanTransfer() float64 { return m.transfer.Mean() }
+
+// Throughput returns the observed departure rate (items/s) from the
+// smoothed inter-departure time, or NaN before two departures.
+func (m *StageMonitor) Throughput() float64 {
+	d := m.interDep.Value()
+	if math.IsNaN(d) || d <= 0 {
+		return math.NaN()
+	}
+	return 1 / d
+}
+
+// Reset clears the sample windows but keeps the lifetime count. Called
+// after a remap so stale observations from the old mapping do not
+// pollute decisions about the new one.
+func (m *StageMonitor) Reset() {
+	m.service.Reset()
+	m.transfer.Reset()
+	m.lastDone = math.NaN()
+	m.interDep = stats.NewEWMA(0.2)
+}
+
+// Monitor aggregates per-stage monitors plus pipeline-exit events.
+type Monitor struct {
+	stages      []*StageMonitor
+	completions []float64 // times at which items left the pipeline
+}
+
+// New returns a monitor for a pipeline of ns stages.
+func New(ns, window int) *Monitor {
+	if ns <= 0 {
+		panic(fmt.Sprintf("monitor: New with %d stages", ns))
+	}
+	m := &Monitor{stages: make([]*StageMonitor, ns)}
+	for i := range m.stages {
+		m.stages[i] = NewStageMonitor(window)
+	}
+	return m
+}
+
+// NumStages returns the number of stages monitored.
+func (m *Monitor) NumStages() int { return len(m.stages) }
+
+// Stage returns the monitor of stage i.
+func (m *Monitor) Stage(i int) *StageMonitor { return m.stages[i] }
+
+// RecordCompletion notes that an item left the last stage at time now.
+func (m *Monitor) RecordCompletion(now float64) {
+	m.completions = append(m.completions, now)
+}
+
+// Completions returns the pipeline exit times (shared slice).
+func (m *Monitor) Completions() []float64 { return m.completions }
+
+// Done returns the number of items that left the pipeline.
+func (m *Monitor) Done() int { return len(m.completions) }
+
+// RecentThroughput returns the exit rate over the trailing window
+// (items/s) at time now, or NaN when nothing completed in the window.
+func (m *Monitor) RecentThroughput(window, now float64) float64 {
+	if window <= 0 {
+		panic("monitor: RecentThroughput with non-positive window")
+	}
+	// Half-open window (now-window, now]: an item exactly at the
+	// window's trailing edge has aged out.
+	count := 0
+	for i := len(m.completions) - 1; i >= 0; i-- {
+		if m.completions[i] <= now-window {
+			break
+		}
+		count++
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return float64(count) / window
+}
+
+// Bottleneck returns the index of the stage with the largest windowed
+// mean service time, and that time. Stages without samples are skipped;
+// if none have samples it returns (-1, NaN).
+func (m *Monitor) Bottleneck() (int, float64) {
+	best, bestV := -1, math.NaN()
+	for i, s := range m.stages {
+		v := s.MeanService()
+		if math.IsNaN(v) {
+			continue
+		}
+		if best < 0 || v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, bestV
+}
+
+// Imbalance returns the ratio of the largest to the smallest windowed
+// mean stage service time (≥ 1), or NaN until at least two stages have
+// samples. A perfectly balanced pipeline scores 1.
+func (m *Monitor) Imbalance() float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range m.stages {
+		v := s.MeanService()
+		if math.IsNaN(v) {
+			continue
+		}
+		n++
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if n < 2 || min <= 0 {
+		return math.NaN()
+	}
+	return max / min
+}
+
+// ResetStages clears every stage window (see StageMonitor.Reset).
+func (m *Monitor) ResetStages() {
+	for _, s := range m.stages {
+		s.Reset()
+	}
+}
+
+// NodeSensor periodically samples one node's background load and feeds
+// a forecaster, mimicking an NWS CPU-availability sensor for that host.
+type NodeSensor struct {
+	node *grid.Node
+	fc   forecast.Forecaster
+	last float64
+}
+
+// NewNodeSensor returns a sensor for node backed by the given
+// forecaster (the default battery if nil).
+func NewNodeSensor(node *grid.Node, fc forecast.Forecaster) *NodeSensor {
+	if fc == nil {
+		fc = forecast.NewDefaultBattery()
+	}
+	return &NodeSensor{node: node, fc: fc, last: math.NaN()}
+}
+
+// Node returns the sensed node.
+func (s *NodeSensor) Node() *grid.Node { return s.node }
+
+// Sample measures the node's instantaneous load at time t and feeds the
+// forecaster.
+func (s *NodeSensor) Sample(t float64) {
+	l := 0.0
+	if s.node.Load != nil {
+		l = s.node.Load.At(t)
+	}
+	s.last = l
+	s.fc.Observe(l)
+}
+
+// LastLoad returns the most recent measurement (NaN before sampling).
+func (s *NodeSensor) LastLoad() float64 { return s.last }
+
+// PredictedLoad returns the forecast of near-future load, falling back
+// to the last measurement and then to 0.
+func (s *NodeSensor) PredictedLoad() float64 {
+	p := s.fc.Predict()
+	if math.IsNaN(p) {
+		p = s.last
+	}
+	if math.IsNaN(p) {
+		return 0
+	}
+	// Forecasts may overshoot slightly; keep them physical.
+	return math.Min(math.Max(p, 0), 0.99)
+}

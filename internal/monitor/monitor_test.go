@@ -1,0 +1,186 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+
+	"gridpipe/internal/forecast"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/trace"
+)
+
+func TestStageMonitorServiceAndThroughput(t *testing.T) {
+	m := NewStageMonitor(8)
+	if !math.IsNaN(m.MeanService()) || !math.IsNaN(m.Throughput()) {
+		t.Fatal("fresh monitor should report NaN")
+	}
+	// Departures every 2 s with 1.5 s of service.
+	for i := 1; i <= 10; i++ {
+		m.RecordService(1.5, float64(i)*2)
+	}
+	if m.Count() != 10 {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	if got := m.MeanService(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("MeanService = %v", got)
+	}
+	if got := m.Throughput(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Throughput = %v, want 0.5", got)
+	}
+}
+
+func TestStageMonitorWindowEviction(t *testing.T) {
+	m := NewStageMonitor(4)
+	for i := 0; i < 4; i++ {
+		m.RecordService(10, float64(i))
+	}
+	for i := 4; i < 8; i++ {
+		m.RecordService(2, float64(i))
+	}
+	if got := m.MeanService(); got != 2 {
+		t.Fatalf("windowed mean = %v, want 2 (old samples evicted)", got)
+	}
+}
+
+func TestStageMonitorReset(t *testing.T) {
+	m := NewStageMonitor(4)
+	m.RecordService(1, 1)
+	m.RecordTransfer(0.5)
+	m.Reset()
+	if !math.IsNaN(m.MeanService()) || !math.IsNaN(m.MeanTransfer()) {
+		t.Fatal("reset should clear windows")
+	}
+	if m.Count() != 1 {
+		t.Fatal("reset should keep lifetime count")
+	}
+}
+
+func TestMonitorCompletionsAndRecentThroughput(t *testing.T) {
+	m := New(3, 0)
+	if m.NumStages() != 3 {
+		t.Fatalf("NumStages = %d", m.NumStages())
+	}
+	for i := 1; i <= 20; i++ {
+		m.RecordCompletion(float64(i))
+	}
+	if m.Done() != 20 {
+		t.Fatalf("Done = %d", m.Done())
+	}
+	// Items at t=11..20 within window 10 ending at t=20.
+	if got := m.RecentThroughput(10, 20); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("RecentThroughput = %v, want 1.0", got)
+	}
+	if !math.IsNaN(m.RecentThroughput(5, 100)) {
+		t.Fatal("stale window should be NaN")
+	}
+}
+
+func TestBottleneckAndImbalance(t *testing.T) {
+	m := New(3, 0)
+	if i, v := m.Bottleneck(); i != -1 || !math.IsNaN(v) {
+		t.Fatal("empty monitor bottleneck should be (-1, NaN)")
+	}
+	if !math.IsNaN(m.Imbalance()) {
+		t.Fatal("empty imbalance should be NaN")
+	}
+	m.Stage(0).RecordService(1, 1)
+	m.Stage(1).RecordService(4, 1)
+	m.Stage(2).RecordService(2, 1)
+	if i, v := m.Bottleneck(); i != 1 || v != 4 {
+		t.Fatalf("Bottleneck = %d, %v", i, v)
+	}
+	if got := m.Imbalance(); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Imbalance = %v, want 4", got)
+	}
+}
+
+func TestImbalanceNeedsTwoStages(t *testing.T) {
+	m := New(2, 0)
+	m.Stage(0).RecordService(1, 1)
+	if !math.IsNaN(m.Imbalance()) {
+		t.Fatal("one sampled stage should give NaN imbalance")
+	}
+}
+
+func TestResetStages(t *testing.T) {
+	m := New(2, 0)
+	m.Stage(0).RecordService(1, 1)
+	m.Stage(1).RecordService(2, 1)
+	m.ResetStages()
+	if i, _ := m.Bottleneck(); i != -1 {
+		t.Fatal("ResetStages should clear windows")
+	}
+}
+
+func TestNewPanicsOnZeroStages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 8)
+}
+
+func TestRecentThroughputPanicsOnBadWindow(t *testing.T) {
+	m := New(1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.RecentThroughput(0, 10)
+}
+
+func TestNodeSensor(t *testing.T) {
+	n := &grid.Node{Name: "n", Speed: 1, Cores: 1,
+		Load: trace.NewSteps(0.2, trace.StepChange{T: 10, Load: 0.8})}
+	s := NewNodeSensor(n, nil)
+	if s.Node() != n {
+		t.Fatal("Node() wrong")
+	}
+	if !math.IsNaN(s.LastLoad()) {
+		t.Fatal("unsampled sensor should be NaN")
+	}
+	if s.PredictedLoad() != 0 {
+		t.Fatal("unsampled prediction should fall back to 0")
+	}
+	for ti := 0; ti < 10; ti++ {
+		s.Sample(float64(ti))
+	}
+	if s.LastLoad() != 0.2 {
+		t.Fatalf("LastLoad = %v", s.LastLoad())
+	}
+	if got := s.PredictedLoad(); math.Abs(got-0.2) > 0.05 {
+		t.Fatalf("PredictedLoad = %v, want ~0.2", got)
+	}
+	// After the step the forecast should move to the new level.
+	for ti := 10; ti < 30; ti++ {
+		s.Sample(float64(ti))
+	}
+	if got := s.PredictedLoad(); math.Abs(got-0.8) > 0.1 {
+		t.Fatalf("PredictedLoad after step = %v, want ~0.8", got)
+	}
+}
+
+func TestNodeSensorIdleNode(t *testing.T) {
+	s := NewNodeSensor(&grid.Node{Name: "idle", Speed: 1, Cores: 1}, forecast.NewLastValue())
+	s.Sample(5)
+	if s.LastLoad() != 0 || s.PredictedLoad() != 0 {
+		t.Fatal("idle node should sense 0")
+	}
+}
+
+func TestPredictedLoadClamped(t *testing.T) {
+	// A forecaster that overshoots must be clamped to [0, 0.99].
+	s := NewNodeSensor(&grid.Node{Name: "x", Speed: 1, Cores: 1}, overshoot{})
+	s.Sample(0)
+	if got := s.PredictedLoad(); got != 0.99 {
+		t.Fatalf("PredictedLoad = %v, want clamp 0.99", got)
+	}
+}
+
+type overshoot struct{}
+
+func (overshoot) Name() string     { return "overshoot" }
+func (overshoot) Observe(float64)  {}
+func (overshoot) Predict() float64 { return 5 }

@@ -1,0 +1,395 @@
+// Package pipeline is the live (goroutine/channel) implementation of
+// the pipeline skeleton: the same 1-for-1 discipline the simulator
+// models, executing real Go functions on the local machine.
+//
+// Semantics (eSkel Pipeline1for1):
+//   - every input passes through every stage in order;
+//   - each stage produces exactly one output per input;
+//   - outputs are delivered in input order, even when a stage is
+//     replicated across several concurrent workers (a sequence-number
+//     reorder buffer restores order at each stage boundary).
+//
+// Stage parallelism is dynamic: SetReplicas adjusts a stage's worker
+// limit while the pipeline runs, which is the live counterpart of the
+// simulator's replicate action.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridpipe/internal/stats"
+)
+
+// Func is the computation of one stage. It must be safe for concurrent
+// invocation when the stage is replicated.
+type Func func(ctx context.Context, v any) (any, error)
+
+// Stage describes one stage of a live pipeline.
+type Stage struct {
+	// Name labels the stage in stats; defaults to "stageN".
+	Name string
+	// Fn is the stage computation (required).
+	Fn Func
+	// Replicas is the initial worker limit (default 1).
+	Replicas int
+	// Buffer is the capacity of the stage's input channel (default 1),
+	// the bounded inter-stage buffer of the skeleton.
+	Buffer int
+}
+
+// StageStats is a snapshot of one stage's live measurements.
+type StageStats struct {
+	Name        string
+	Count       int
+	Replicas    int
+	MeanService time.Duration
+	MaxService  time.Duration
+}
+
+// Pipeline is a runnable live pipeline. Create with New; a Pipeline is
+// single-use: Run (or Process) may be called once.
+type Pipeline struct {
+	stages []Stage
+	limits []*limiter
+	meters []*meter
+	ran    bool
+	mu     sync.Mutex
+}
+
+// New validates the stage list and builds a pipeline.
+func New(stages ...Stage) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("pipeline: no stages")
+	}
+	p := &Pipeline{stages: make([]Stage, len(stages))}
+	copy(p.stages, stages)
+	for i := range p.stages {
+		st := &p.stages[i]
+		if st.Fn == nil {
+			return nil, fmt.Errorf("pipeline: stage %d has no function", i)
+		}
+		if st.Name == "" {
+			st.Name = fmt.Sprintf("stage%d", i)
+		}
+		if st.Replicas <= 0 {
+			st.Replicas = 1
+		}
+		if st.Buffer <= 0 {
+			st.Buffer = 1
+		}
+		p.limits = append(p.limits, newLimiter(st.Replicas))
+		p.meters = append(p.meters, &meter{})
+	}
+	return p, nil
+}
+
+// NumStages returns the stage count.
+func (p *Pipeline) NumStages() int { return len(p.stages) }
+
+// SetReplicas changes the worker limit of stage i (minimum 1). Safe to
+// call while the pipeline runs; shrinking takes effect as in-flight
+// items finish.
+func (p *Pipeline) SetReplicas(i, n int) error {
+	if i < 0 || i >= len(p.stages) {
+		return fmt.Errorf("pipeline: SetReplicas on invalid stage %d", i)
+	}
+	if n < 1 {
+		return fmt.Errorf("pipeline: SetReplicas(%d) below 1", n)
+	}
+	p.limits[i].setLimit(n)
+	return nil
+}
+
+// Stats snapshots per-stage counters.
+func (p *Pipeline) Stats() []StageStats {
+	out := make([]StageStats, len(p.stages))
+	for i := range p.stages {
+		count, mean, max := p.meters[i].snapshot()
+		out[i] = StageStats{
+			Name:        p.stages[i].Name,
+			Count:       count,
+			Replicas:    p.limits[i].getLimit(),
+			MeanService: mean,
+			MaxService:  max,
+		}
+	}
+	return out
+}
+
+type seqItem struct {
+	seq int
+	v   any
+}
+
+// Run starts the pipeline over the input stream. The returned output
+// channel yields results in input order and is closed when the input
+// channel is exhausted and drained, the context is cancelled, or a
+// stage fails. The error channel delivers at most one error (stage
+// failure or ctx.Err) and is closed with the output.
+func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan error) {
+	p.mu.Lock()
+	if p.ran {
+		p.mu.Unlock()
+		panic("pipeline: Run called twice")
+	}
+	p.ran = true
+	p.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(ctx)
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Sequence-tag the inputs.
+	head := make(chan seqItem, p.stages[0].Buffer)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(head)
+		seq := 0
+		for {
+			select {
+			case v, ok := <-inputs:
+				if !ok {
+					return
+				}
+				select {
+				case head <- seqItem{seq, v}:
+					seq++
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	in := head
+	for i := range p.stages {
+		out := make(chan seqItem, p.stages[i].Buffer)
+		wg.Add(1)
+		go p.runStage(ctx, i, in, out, &wg, fail)
+		in = out
+	}
+
+	results := make(chan any)
+	errs := make(chan error, 1)
+	wg.Add(1)
+	go func() { // untag and deliver
+		defer wg.Done()
+		for it := range in {
+			select {
+			case results <- it.v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		if firstErr == nil && ctx.Err() != nil {
+			firstErr = ctx.Err()
+		}
+		if firstErr != nil {
+			errs <- firstErr
+		}
+		close(errs)
+		close(results)
+		cancel()
+	}()
+	return results, errs
+}
+
+// runStage dispatches items of stage i to up to limit concurrent
+// workers and restores output order.
+func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out chan<- seqItem, wg *sync.WaitGroup, fail func(error)) {
+	defer wg.Done()
+	lim := p.limits[i]
+	met := p.meters[i]
+	fn := p.stages[i].Fn
+	name := p.stages[i].Name
+
+	done := make(chan seqItem, 16)
+	var workers sync.WaitGroup
+
+	// Reorderer: emits done items in sequence order.
+	reordered := make(chan struct{})
+	go func() {
+		defer close(reordered)
+		// Sequence numbers are assigned 0,1,2,... at the head and every
+		// stage is 1-for-1 and order-preserving at its boundary, so the
+		// reorderer always starts expecting 0.
+		pending := map[int]any{}
+		next := 0
+		for it := range done {
+			pending[it.seq] = it.v
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case out <- seqItem{next, v}:
+					next++
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+		// Flush any remainder in order (only reachable on clean drain).
+		for {
+			v, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			select {
+			case out <- seqItem{next, v}:
+				next++
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for {
+		var it seqItem
+		var ok bool
+		select {
+		case it, ok = <-in:
+		case <-ctx.Done():
+			ok = false
+		}
+		if !ok {
+			break
+		}
+		lim.acquire()
+		workers.Add(1)
+		go func(it seqItem) {
+			defer workers.Done()
+			defer lim.release()
+			t0 := time.Now()
+			v, err := fn(ctx, it.v)
+			met.record(time.Since(t0))
+			if err != nil {
+				fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, it.seq, err))
+				return
+			}
+			select {
+			case done <- seqItem{it.seq, v}:
+			case <-ctx.Done():
+			}
+		}(it)
+	}
+	workers.Wait()
+	close(done)
+	<-reordered
+	close(out)
+}
+
+// Process runs the pipeline over a slice and returns the outputs in
+// input order.
+func (p *Pipeline) Process(ctx context.Context, inputs []any) ([]any, error) {
+	in := make(chan any)
+	go func() {
+		defer close(in)
+		for _, v := range inputs {
+			select {
+			case in <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	out, errs := p.Run(ctx, in)
+	var results []any
+	for v := range out {
+		results = append(results, v)
+	}
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	if len(results) != len(inputs) {
+		return nil, fmt.Errorf("pipeline: %d outputs for %d inputs", len(results), len(inputs))
+	}
+	return results, nil
+}
+
+// meter is a goroutine-safe service-time accumulator.
+type meter struct {
+	mu sync.Mutex
+	o  stats.Online
+}
+
+func (m *meter) record(d time.Duration) {
+	m.mu.Lock()
+	m.o.Add(d.Seconds())
+	m.mu.Unlock()
+}
+
+func (m *meter) snapshot() (count int, mean, max time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	count = m.o.N()
+	if count > 0 {
+		mean = time.Duration(m.o.Mean() * float64(time.Second))
+		max = time.Duration(m.o.Max() * float64(time.Second))
+	}
+	return
+}
+
+// limiter is a resizable concurrency limiter.
+type limiter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	limit int
+	inUse int
+}
+
+func newLimiter(n int) *limiter {
+	l := &limiter{limit: n}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *limiter) acquire() {
+	l.mu.Lock()
+	for l.inUse >= l.limit {
+		l.cond.Wait()
+	}
+	l.inUse++
+	l.mu.Unlock()
+}
+
+func (l *limiter) release() {
+	l.mu.Lock()
+	l.inUse--
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *limiter) setLimit(n int) {
+	l.mu.Lock()
+	l.limit = n
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *limiter) getLimit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}

@@ -1,0 +1,56 @@
+package rng
+
+import "math"
+
+// Zipf generates Zipf-distributed ranks in [0, n) with exponent s > 0.
+// Rank k is drawn with probability proportional to 1/(k+1)^s. Grid
+// workload skew (a few hot stages or hot inputs) is modelled with it.
+//
+// The implementation precomputes the CDF and samples by binary search,
+// which is exact and fast for the n (≤ a few thousand) used in the
+// simulator.
+type Zipf struct {
+	r   *Rand
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s.
+// It panics if n <= 0 or s <= 0.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("rng: NewZipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	// Force the last entry to exactly 1 so search never falls off the end.
+	cdf[n-1] = 1
+	return &Zipf{r: r, cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next Zipf-distributed rank in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,374 @@
+// Package sched implements mapping search: given a pipeline spec, a
+// grid, and per-node load estimates, find a stage→node mapping with
+// high predicted throughput under the analytic model.
+//
+// Four strategies with different cost/quality trade-offs are provided
+// (compared head-to-head in experiment T4):
+//
+//   - Exhaustive: every unreplicated mapping; exact but exponential.
+//   - ContiguousDP: optimal contiguous partition of the stage chain
+//     onto the node sequence (chains-on-chains partitioning by dynamic
+//     programming); polynomial, communication-light by construction.
+//   - Greedy: LPT-style list scheduling of stages onto nodes.
+//   - LocalSearch: hill-climbing over single-stage moves from a greedy
+//     start, with random restarts.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/rng"
+)
+
+// Searcher is a mapping-search strategy.
+type Searcher interface {
+	// Name identifies the strategy in experiment tables.
+	Name() string
+	// Search returns a mapping for spec on g and its predicted
+	// performance. loads[n] estimates background load per node (nil
+	// means idle).
+	Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error)
+}
+
+// Exhaustive enumerates all np^ns unreplicated mappings. Only feasible
+// for small pipelines; it is the ground truth the other strategies are
+// judged against.
+type Exhaustive struct{}
+
+// Name implements Searcher.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Search implements Searcher.
+func (Exhaustive) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	ns, np := spec.NumStages(), g.NumNodes()
+	if ns <= 0 {
+		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
+	}
+	// Refuse obviously explosive spaces before enumerating.
+	if float64(ns)*math.Log(float64(np)) > math.Log(model.EnumerationLimit) {
+		return model.Mapping{}, model.Prediction{}, fmt.Errorf(
+			"sched: exhaustive search over %d^%d mappings is infeasible", np, ns)
+	}
+	cands := model.EnumerateAll(ns, np)
+	idx, pred, err := model.Best(g, spec, cands, loads)
+	if err != nil {
+		return model.Mapping{}, model.Prediction{}, err
+	}
+	return cands[idx], pred, nil
+}
+
+// ContiguousDP solves the chains-on-chains partitioning problem: split
+// the stage chain into at most np contiguous groups and place group k
+// on node k (nodes in ID order), minimising the bottleneck per-item
+// busy time max_k (Σ work in group k) / effective-speed(node k).
+//
+// Contiguity means only adjacent-stage traffic ever crosses a link, the
+// same structural restriction the era's mapping tables used. The DP is
+// exact within that restriction but ignores link bandwidth (checked
+// against Exhaustive in T4).
+type ContiguousDP struct{}
+
+// Name implements Searcher.
+func (ContiguousDP) Name() string { return "contiguous-dp" }
+
+// Search implements Searcher.
+func (ContiguousDP) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	ns, np := spec.NumStages(), g.NumNodes()
+	if ns == 0 {
+		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
+	}
+	eff := effectiveSpeeds(g, loads)
+
+	// prefix[i] = total work of stages [0, i).
+	prefix := make([]float64, ns+1)
+	for i, st := range spec.Stages {
+		prefix[i+1] = prefix[i] + st.Work
+	}
+	groupCost := func(from, to, node int) float64 { // stages [from, to) on node
+		return (prefix[to] - prefix[from]) / eff[node]
+	}
+
+	const inf = math.MaxFloat64
+	// dp[i][j]: minimal bottleneck for stages [0, i) using nodes [0, j).
+	dp := make([][]float64, ns+1)
+	cut := make([][]int, ns+1) // cut[i][j]: start of the last group
+	for i := range dp {
+		dp[i] = make([]float64, np+1)
+		cut[i] = make([]int, np+1)
+		for j := range dp[i] {
+			dp[i][j] = inf
+			cut[i][j] = -1
+		}
+	}
+	dp[0][0] = 0
+	for j := 1; j <= np; j++ {
+		dp[0][j] = 0 // zero stages need zero groups; extra nodes stay idle
+		for i := 1; i <= ns; i++ {
+			// Node j-1 either hosts the last group [k, i) or is unused.
+			if dp[i][j-1] < dp[i][j] {
+				dp[i][j] = dp[i][j-1]
+				cut[i][j] = -1 // marker: node j-1 unused
+			}
+			for k := 0; k < i; k++ {
+				if dp[k][j-1] == inf {
+					continue
+				}
+				c := math.Max(dp[k][j-1], groupCost(k, i, j-1))
+				if c < dp[i][j] {
+					dp[i][j] = c
+					cut[i][j] = k
+				}
+			}
+		}
+	}
+	if dp[ns][np] == inf {
+		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: DP found no feasible partition")
+	}
+
+	// Reconstruct stage→node assignment.
+	assign := make([]grid.NodeID, ns)
+	i, j := ns, np
+	for i > 0 {
+		k := cut[i][j]
+		if k < 0 { // node j-1 unused
+			j--
+			continue
+		}
+		for s := k; s < i; s++ {
+			assign[s] = grid.NodeID(j - 1)
+		}
+		i, j = k, j-1
+	}
+	m := model.FromNodes(assign...)
+	pred, err := model.Predict(g, spec, m, loads)
+	if err != nil {
+		return model.Mapping{}, model.Prediction{}, err
+	}
+	return m, pred, nil
+}
+
+// Greedy is LPT-style list scheduling: stages in decreasing work order,
+// each placed on the node whose accumulated per-item busy time (after
+// placement) is smallest. Fast and mapping-quality is usually within a
+// small factor of optimal, but it ignores communication entirely.
+type Greedy struct{}
+
+// Name implements Searcher.
+func (Greedy) Name() string { return "greedy" }
+
+// Search implements Searcher.
+func (Greedy) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	ns, np := spec.NumStages(), g.NumNodes()
+	if ns == 0 {
+		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
+	}
+	eff := effectiveSpeeds(g, loads)
+
+	order := make([]int, ns)
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by decreasing work (ns is small; avoids pulling in
+	// sort for a custom key).
+	for i := 1; i < ns; i++ {
+		for j := i; j > 0 && spec.Stages[order[j]].Work > spec.Stages[order[j-1]].Work; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	busy := make([]float64, np)
+	assign := make([]grid.NodeID, ns)
+	for _, si := range order {
+		best, bestBusy := -1, math.Inf(1)
+		for n := 0; n < np; n++ {
+			b := busy[n] + spec.Stages[si].Work/eff[n]/float64(g.Node(grid.NodeID(n)).Cores)
+			if b < bestBusy {
+				best, bestBusy = n, b
+			}
+		}
+		busy[best] = bestBusy
+		assign[si] = grid.NodeID(best)
+	}
+	m := model.FromNodes(assign...)
+	pred, err := model.Predict(g, spec, m, loads)
+	if err != nil {
+		return model.Mapping{}, model.Prediction{}, err
+	}
+	return m, pred, nil
+}
+
+// LocalSearch hill-climbs over single-stage reassignments, starting
+// from the greedy solution plus random restarts. It optimises the full
+// analytic prediction (including link bounds), unlike Greedy and the
+// DP.
+type LocalSearch struct {
+	// Seed makes restarts reproducible.
+	Seed uint64
+	// Restarts is the number of random restarts (default 3).
+	Restarts int
+	// MaxIters bounds the climb length per start (default 200).
+	MaxIters int
+}
+
+// Name implements Searcher.
+func (LocalSearch) Name() string { return "local-search" }
+
+// Search implements Searcher.
+func (l LocalSearch) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	ns, np := spec.NumStages(), g.NumNodes()
+	if ns == 0 {
+		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
+	}
+	restarts := l.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	maxIters := l.MaxIters
+	if maxIters <= 0 {
+		maxIters = 200
+	}
+	r := rng.New(l.Seed)
+
+	climb := func(start model.Mapping) (model.Mapping, model.Prediction, error) {
+		cur := start.Clone()
+		pred, err := model.Predict(g, spec, cur, loads)
+		if err != nil {
+			return model.Mapping{}, model.Prediction{}, err
+		}
+		for iter := 0; iter < maxIters; iter++ {
+			improved := false
+			for si := 0; si < ns; si++ {
+				orig := cur.Assign[si][0]
+				for n := 0; n < np; n++ {
+					if grid.NodeID(n) == orig {
+						continue
+					}
+					cur.Assign[si][0] = grid.NodeID(n)
+					p, err := model.Predict(g, spec, cur, loads)
+					if err != nil {
+						return model.Mapping{}, model.Prediction{}, err
+					}
+					if p.Throughput > pred.Throughput*(1+1e-12) {
+						pred = p
+						orig = grid.NodeID(n)
+						improved = true
+					} else {
+						cur.Assign[si][0] = orig
+					}
+				}
+				cur.Assign[si][0] = orig
+			}
+			if !improved {
+				break
+			}
+		}
+		return cur, pred, nil
+	}
+
+	bestM, bestP, err := func() (model.Mapping, model.Prediction, error) {
+		gm, _, err := (Greedy{}).Search(g, spec, loads)
+		if err != nil {
+			return model.Mapping{}, model.Prediction{}, err
+		}
+		return climb(gm)
+	}()
+	if err != nil {
+		return model.Mapping{}, model.Prediction{}, err
+	}
+	for rs := 0; rs < restarts; rs++ {
+		assign := make([]grid.NodeID, ns)
+		for i := range assign {
+			assign[i] = grid.NodeID(r.Intn(np))
+		}
+		m, p, err := climb(model.FromNodes(assign...))
+		if err != nil {
+			return model.Mapping{}, model.Prediction{}, err
+		}
+		if p.Throughput > bestP.Throughput {
+			bestM, bestP = m, p
+		}
+	}
+	return bestM, bestP, nil
+}
+
+// effectiveSpeeds returns per-node speed scaled by the load estimates.
+func effectiveSpeeds(g *grid.Grid, loads []float64) []float64 {
+	eff := make([]float64, g.NumNodes())
+	for n := range eff {
+		l := 0.0
+		if loads != nil && n < len(loads) {
+			l = math.Min(math.Max(loads[n], 0), 0.99)
+		}
+		eff[n] = g.Node(grid.NodeID(n)).Speed * (1 - l)
+	}
+	return eff
+}
+
+// ImproveWithReplication greedily replicates the predicted bottleneck
+// stage onto additional nodes while the analytic prediction improves.
+// Only stages marked Replicable are touched; maxReplicas bounds the fan
+// width (0 means the grid size). This is the planning primitive behind
+// the adaptivity engine's replicate action and experiment F4.
+func ImproveWithReplication(g *grid.Grid, spec model.PipelineSpec, m model.Mapping, loads []float64, maxReplicas int) (model.Mapping, model.Prediction, error) {
+	if maxReplicas <= 0 {
+		maxReplicas = g.NumNodes()
+	}
+	cur := m.Clone()
+	pred, err := model.Predict(g, spec, cur, loads)
+	if err != nil {
+		return model.Mapping{}, model.Prediction{}, err
+	}
+	for {
+		// Find the stage on the bottleneck node with the largest work
+		// share that is allowed to replicate.
+		si := -1
+		var worst float64
+		for i, st := range spec.Stages {
+			if !st.Replicable || len(cur.Assign[i]) >= maxReplicas {
+				continue
+			}
+			share := st.Work / float64(len(cur.Assign[i]))
+			if onNode(cur.Assign[i], pred.BottleneckNode) && share > worst {
+				si, worst = i, share
+			}
+		}
+		if si < 0 {
+			return cur, pred, nil
+		}
+		// Try adding each node not already hosting the stage; keep the
+		// best improvement.
+		bestP := pred
+		bestN := grid.NodeID(-1)
+		for n := 0; n < g.NumNodes(); n++ {
+			id := grid.NodeID(n)
+			if onNode(cur.Assign[si], id) {
+				continue
+			}
+			trial := cur.WithReplicas(si, append(append([]grid.NodeID{}, cur.Assign[si]...), id)...)
+			p, err := model.Predict(g, spec, trial, loads)
+			if err != nil {
+				return model.Mapping{}, model.Prediction{}, err
+			}
+			if p.Throughput > bestP.Throughput*(1+1e-9) {
+				bestP, bestN = p, id
+			}
+		}
+		if bestN < 0 {
+			return cur, pred, nil
+		}
+		cur = cur.WithReplicas(si, append(append([]grid.NodeID{}, cur.Assign[si]...), bestN)...)
+		pred = bestP
+	}
+}
+
+func onNode(nodes []grid.NodeID, id grid.NodeID) bool {
+	for _, n := range nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,210 @@
+// Package sim implements the deterministic discrete-event simulation
+// engine that drives every grid experiment in virtual time.
+//
+// The engine is a classic event-calendar design: a priority queue of
+// (time, sequence, callback) events. Sequence numbers break ties so
+// that two events scheduled for the same instant fire in scheduling
+// order, which makes every run bit-for-bit reproducible — a property
+// the experiment harness depends on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event simulator. The zero value is ready to use
+// with the clock at 0.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+}
+
+// Event is a scheduled callback. It is returned by Schedule/At so the
+// caller can cancel it before it fires (e.g. a pending stage completion
+// invalidated by a remap).
+type Event struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event fires (or would have
+// fired, if cancelled).
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancelled events are dropped
+// lazily when they surface from the queue.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run after delay seconds of virtual time.
+// It panics on negative delay or NaN.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: Schedule with invalid delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute virtual time t. It panics if t is in
+// the past: the simulated grid never time-travels, and silently
+// clamping would hide scheduling bugs in the executor.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: At(%v) before now=%v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step fires the next event. It reports false when the calendar is
+// empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the calendar is empty and returns the final
+// virtual time.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t
+// (even if no event fired). Events scheduled exactly at t do fire.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now=%v", t, e.now))
+	}
+	for {
+		ev := e.peek()
+		if ev == nil || ev.time > t {
+			break
+		}
+		e.Step()
+	}
+	e.now = t
+}
+
+// peek returns the next non-cancelled event without firing it, lazily
+// discarding cancelled ones.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// NextEventTime returns the time of the next pending event and true, or
+// 0 and false when the calendar is empty.
+func (e *Engine) NextEventTime() (float64, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.time, true
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Ticker invokes a callback at a fixed virtual-time period until
+// stopped. The adaptivity engine's periodic trigger is a Ticker.
+type Ticker struct {
+	engine  *Engine
+	period  float64
+	fn      func(now float64)
+	next    *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker firing every period seconds, first at
+// now+period. It panics on non-positive period.
+func NewTicker(e *Engine, period float64, fn func(now float64)) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.next = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}

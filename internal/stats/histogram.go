@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Samples outside the
+// range are counted in dedicated underflow/overflow bins so totals are
+// never silently lost.
+type Histogram struct {
+	lo, hi float64
+	width  float64
+	bins   []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram returns a histogram with n equal bins over [lo, hi).
+// It panics if n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 {
+		panic("stats: NewHistogram with non-positive bin count")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), bins: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.bins) { // guard against float rounding at hi
+			i = len(h.bins) - 1
+		}
+		h.bins[i]++
+	}
+}
+
+// Total returns the number of samples recorded, including out-of-range
+// ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// NumBins returns the number of in-range bins.
+func (h *Histogram) NumBins() int { return len(h.bins) }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int { return h.under }
+func (h *Histogram) Overflow() int  { return h.over }
+
+// BinBounds returns the [lo, hi) range of bin i.
+func (h *Histogram) BinBounds(i int) (float64, float64) {
+	return h.lo + float64(i)*h.width, h.lo + float64(i+1)*h.width
+}
+
+// Quantile estimates the q-quantile from the binned counts assuming a
+// uniform distribution within each bin. Out-of-range samples are
+// clamped to the histogram bounds. It returns NaN for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: histogram quantile out of [0,1]")
+	}
+	if h.total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(h.total)
+	cum := float64(h.under)
+	if cum >= target && h.under > 0 {
+		return h.lo
+	}
+	for i, c := range h.bins {
+		if cum+float64(c) >= target && c > 0 {
+			lo, _ := h.BinBounds(i)
+			frac := (target - cum) / float64(c)
+			return lo + frac*h.width
+		}
+		cum += float64(c)
+	}
+	return h.hi
+}
+
+// String renders a compact ASCII sketch of the histogram, one line per
+// non-empty bin, suitable for debug logs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount == 0 {
+		maxCount = 1
+	}
+	const barWidth = 40
+	for i, c := range h.bins {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.BinBounds(i)
+		bar := strings.Repeat("#", int(math.Round(float64(c)/float64(maxCount)*barWidth)))
+		fmt.Fprintf(&b, "[%10.4g, %10.4g) %8d %s\n", lo, hi, c, bar)
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "underflow %d\n", h.under)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "overflow %d\n", h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,282 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEq(m, 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	// Sample variance of this classic set is 32/7.
+	if v := Variance(xs); !almostEq(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestEmptyInputsAreNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) ||
+		!math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) ||
+		!math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty-input statistics should be NaN")
+	}
+}
+
+func TestVarianceSingleSampleNaN(t *testing.T) {
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("variance of one sample should be NaN")
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if Min(xs) != -1 || Max(xs) != 5 || Sum(xs) != 12 {
+		t.Fatalf("min/max/sum wrong: %v %v %v", Min(xs), Max(xs), Sum(xs))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.5); !almostEq(got, 5, 1e-12) {
+		t.Errorf("interpolated median = %v, want 5", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for q out of range")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestQuantileUnsortedInput(t *testing.T) {
+	if got := Quantile([]float64{5, 1, 3, 2, 4}, 0.5); !almostEq(got, 3, 1e-12) {
+		t.Fatalf("median of unsorted = %v, want 3", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almostEq(s.P50, 50, 1e-9) || !almostEq(s.P95, 95, 1e-9) || !almostEq(s.P99, 99, 1e-9) {
+		t.Fatalf("bad quantiles: %+v", s)
+	}
+	if !almostEq(s.Mean, 50, 1e-9) {
+		t.Fatalf("bad mean: %v", s.Mean)
+	}
+}
+
+func TestMSEAndMAE(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	act := []float64{1, 4, 3}
+	if got := MSE(pred, act); !almostEq(got, 4.0/3.0, 1e-12) {
+		t.Fatalf("MSE = %v", got)
+	}
+	if got := MAE(pred, act); !almostEq(got, 2.0/3.0, 1e-12) {
+		t.Fatalf("MAE = %v", got)
+	}
+	if !math.IsNaN(MSE([]float64{1}, []float64{1, 2})) {
+		t.Fatal("mismatched lengths should give NaN")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(11, 10); !almostEq(got, 0.1, 1e-12) {
+		t.Fatalf("RelErr = %v", got)
+	}
+	if !math.IsNaN(RelErr(1, 0)) {
+		t.Fatal("RelErr with zero want should be NaN")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	xs := []float64{1.5, 2.5, 2.5, 9, -3, 4.25, 0}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if o.N() != len(xs) {
+		t.Fatalf("N = %d", o.N())
+	}
+	if !almostEq(o.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEq(o.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("online var %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	if o.Min() != -3 || o.Max() != 9 {
+		t.Fatalf("online min/max %v %v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineMergeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var left, right, merged Online
+		// Huge magnitudes (≈1e308) overflow the squared-deviation sum
+		// and are not representative of the timing samples this
+		// accumulator holds; bound the domain instead.
+		ok := func(x float64) bool {
+			return !math.IsNaN(x) && math.Abs(x) < 1e9
+		}
+		for _, x := range a {
+			if !ok(x) {
+				return true
+			}
+			left.Add(x)
+		}
+		for _, x := range b {
+			if !ok(x) {
+				return true
+			}
+			right.Add(x)
+		}
+		left.Merge(&right)
+		all := append(append([]float64{}, a...), b...)
+		for _, x := range all {
+			merged.Add(x)
+		}
+		if left.N() != merged.N() {
+			return false
+		}
+		if left.N() == 0 {
+			return true
+		}
+		tol := 1e-6 * (1 + math.Abs(merged.Mean()))
+		if !almostEq(left.Mean(), merged.Mean(), tol) {
+			return false
+		}
+		if left.N() >= 2 {
+			vtol := 1e-6 * (1 + math.Abs(merged.Variance()))
+			if !almostEq(left.Variance(), merged.Variance(), vtol) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineReset(t *testing.T) {
+	var o Online
+	o.Add(5)
+	o.Reset()
+	if o.N() != 0 || !math.IsNaN(o.Mean()) {
+		t.Fatal("reset did not clear accumulator")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if !math.IsNaN(e.Value()) {
+		t.Fatal("EWMA before samples should be NaN")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample should initialise: %v", e.Value())
+	}
+	e.Add(20)
+	if !almostEq(e.Value(), 15, 1e-12) {
+		t.Fatalf("EWMA = %v, want 15", e.Value())
+	}
+}
+
+func TestEWMAPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for alpha=%v", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 || r.Cap() != 3 {
+		t.Fatal("fresh ring wrong")
+	}
+	if !math.IsNaN(r.Last()) || !math.IsNaN(r.Mean()) {
+		t.Fatal("empty ring should report NaN")
+	}
+	r.Add(1)
+	r.Add(2)
+	if got := r.Values(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Values = %v", got)
+	}
+	r.Add(3)
+	r.Add(4) // evicts 1
+	if got := r.Values(); len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("Values after wrap = %v", got)
+	}
+	if r.Last() != 4 {
+		t.Fatalf("Last = %v", r.Last())
+	}
+	if !almostEq(r.Mean(), 3, 1e-12) {
+		t.Fatalf("Mean = %v", r.Mean())
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRingWrapProperty(t *testing.T) {
+	f := func(capRaw uint8, n uint8) bool {
+		c := int(capRaw%16) + 1
+		r := NewRing(c)
+		var want []float64
+		for i := 0; i < int(n); i++ {
+			x := float64(i)
+			r.Add(x)
+			want = append(want, x)
+			if len(want) > c {
+				want = want[1:]
+			}
+		}
+		got := r.Values()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSeriesAppendAndValueAt(t *testing.T) {
+	s := NewSeries("load")
+	if !math.IsNaN(s.ValueAt(0)) {
+		t.Fatal("empty series should be NaN")
+	}
+	s.Append(0, 1)
+	s.Append(10, 2)
+	s.Append(20, 3)
+	cases := []struct{ t, want float64 }{
+		{-5, 1}, {0, 1}, {5, 1}, {10, 2}, {15, 2}, {20, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := s.ValueAt(c.t); got != c.want {
+			t.Errorf("ValueAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestSeriesAppendMonotone(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for backwards time")
+		}
+	}()
+	s.Append(4, 1)
+}
+
+func TestSeriesResample(t *testing.T) {
+	s := NewSeries("x")
+	s.Append(0, 0)
+	s.Append(1, 10)
+	r := s.Resample(0, 2, 0.5)
+	want := []float64{0, 0, 10, 10, 10}
+	if r.Len() != len(want) {
+		t.Fatalf("resampled len = %d, want %d", r.Len(), len(want))
+	}
+	for i, w := range want {
+		if r.At(i).V != w {
+			t.Errorf("point %d = %v, want %v", i, r.At(i).V, w)
+		}
+	}
+}
+
+func TestWindowRate(t *testing.T) {
+	// 10 events uniformly in [0,10): one per unit time.
+	var events []float64
+	for i := 0; i < 10; i++ {
+		events = append(events, float64(i)+0.5)
+	}
+	r := WindowRate(events, 0, 10, 2)
+	if r.Len() != 5 {
+		t.Fatalf("windows = %d, want 5", r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		if r.At(i).V != 1.0 {
+			t.Errorf("window %d rate = %v, want 1", i, r.At(i).V)
+		}
+	}
+}
+
+func TestWindowRateUnsortedInput(t *testing.T) {
+	events := []float64{9, 1, 5, 3, 7}
+	r := WindowRate(events, 0, 10, 10)
+	if r.Len() != 1 || r.At(0).V != 0.5 {
+		t.Fatalf("rate = %+v, want single window 0.5", r.Points())
+	}
+}
+
+func TestIntegrateAndTimeAverage(t *testing.T) {
+	s := NewSeries("util")
+	s.Append(0, 1)
+	s.Append(10, 3)
+	// integral over [0,20] = 1*10 + 3*10 = 40
+	if got := s.Integrate(0, 20); !almostEq(got, 40, 1e-9) {
+		t.Fatalf("Integrate = %v, want 40", got)
+	}
+	if got := s.TimeAverage(0, 20); !almostEq(got, 2, 1e-9) {
+		t.Fatalf("TimeAverage = %v, want 2", got)
+	}
+	// Partial interval starting mid-series.
+	if got := s.Integrate(5, 15); !almostEq(got, 1*5+3*5, 1e-9) {
+		t.Fatalf("partial Integrate = %v, want 20", got)
+	}
+	if !math.IsNaN(s.TimeAverage(5, 5)) {
+		t.Fatal("degenerate interval should be NaN")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("tp")
+	s.Append(1, 2)
+	got := s.CSV()
+	if !strings.HasPrefix(got, "t,tp\n") || !strings.Contains(got, "1.000000,2.000000") {
+		t.Fatalf("CSV output malformed:\n%s", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // underflow
+	h.Add(11) // overflow
+	if h.Total() != 12 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bin(i) != 1 {
+			t.Fatalf("bin %d = %d, want 1", i, h.Bin(i))
+		}
+	}
+	if h.Underflow() != 1 || h.Overflow() != 1 {
+		t.Fatalf("under/over = %d/%d", h.Underflow(), h.Overflow())
+	}
+	lo, hi := h.BinBounds(3)
+	if lo != 3 || hi != 4 {
+		t.Fatalf("BinBounds(3) = %v,%v", lo, hi)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median estimate %v out of tolerance", med)
+	}
+	if !math.IsNaN(NewHistogram(0, 1, 1).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramEdgeValueGoesToOverflow(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(10) // hi is exclusive
+	if h.Overflow() != 1 {
+		t.Fatalf("value at hi should overflow, got %d", h.Overflow())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("expected bars in output:\n%s", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRowf("alpha", 1.23456)
+	tb.AddRow("beta", "x")
+	tb.AddNote("n=%d", 2)
+	out := tb.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "1.235", "note: n=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if got := tb.Row(1)[0]; got != "beta" {
+		t.Fatalf("Row(1)[0] = %q", got)
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(`has,comma`, `has"quote`)
+	got := tb.CSV()
+	if !strings.Contains(got, `"has,comma"`) || !strings.Contains(got, `"has""quote"`) {
+		t.Fatalf("CSV quoting wrong:\n%s", got)
+	}
+}

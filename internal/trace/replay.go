@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serialises a sampled trace as "t,load" lines. Together with
+// ReadCSV it lets experiments replay externally measured load (e.g.
+// real NWS logs converted offline) through the same Trace interface.
+func WriteCSV(w io.Writer, s *Sampled) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "t,load"); err != nil {
+		return err
+	}
+	for i, v := range s.Vals {
+		t := s.Start + float64(i)*s.Dt
+		if _, err := fmt.Fprintf(bw, "%.6f,%.6f\n", t, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or any two-column
+// "t,load" CSV with a header and uniformly spaced, ascending times).
+func ReadCSV(r io.Reader) (*Sampled, error) {
+	sc := bufio.NewScanner(r)
+	var times, vals []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if line == 1 || text == "" {
+			continue // header
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want 2 fields, got %d", line, len(parts))
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time: %w", line, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad load: %w", line, err)
+		}
+		if v < 0 || v > MaxLoad {
+			return nil, fmt.Errorf("trace: line %d: load %v outside [0, %v]", line, v, MaxLoad)
+		}
+		if len(times) > 0 && t <= times[len(times)-1] {
+			return nil, fmt.Errorf("trace: line %d: non-increasing time %v", line, t)
+		}
+		times = append(times, t)
+		vals = append(vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(vals) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	dt := 1.0
+	if len(times) > 1 {
+		dt = times[1] - times[0]
+	}
+	return &Sampled{Start: times[0], Dt: dt, Vals: vals}, nil
+}

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"gridpipe/internal/exec"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/sim"
+)
+
+func TestBundledAppsValid(t *testing.T) {
+	for _, app := range All() {
+		if err := app.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+		if app.Spec.NumStages() < 3 {
+			t.Errorf("%s: only %d stages", app.Name, app.Spec.NumStages())
+		}
+		if app.Spec.TotalWork() <= 0 {
+			t.Errorf("%s: no work", app.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"image", "genome", "video"} {
+		app, err := ByName(name)
+		if err != nil || app.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, app.Name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestSamplerMeanMatchesSpec(t *testing.T) {
+	app := Genome()
+	s := app.Sampler(7)
+	const n = 20000
+	for stage := range app.Spec.Stages {
+		sum := 0.0
+		for seq := 0; seq < n; seq++ {
+			w := s(stage, seq)
+			if w < 0 {
+				t.Fatalf("negative work %v", w)
+			}
+			sum += w
+		}
+		mean := sum / n
+		want := app.Spec.Stages[stage].Work
+		if math.Abs(mean-want)/want > 0.05 {
+			t.Errorf("stage %d sampled mean %v, spec %v", stage, mean, want)
+		}
+	}
+}
+
+func TestSamplerCV(t *testing.T) {
+	app := Image() // CV 0.25
+	s := app.Sampler(3)
+	const n = 30000
+	var sum, sumsq float64
+	for seq := 0; seq < n; seq++ {
+		w := s(1, seq)
+		sum += w
+		sumsq += w * w
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	cv := sd / mean
+	if math.Abs(cv-0.25) > 0.03 {
+		t.Fatalf("sampled CV %v, want ~0.25", cv)
+	}
+}
+
+func TestSamplerDeterministicPerItem(t *testing.T) {
+	app := Video()
+	a, b := app.Sampler(11), app.Sampler(11)
+	for stage := range app.Spec.Stages {
+		for seq := 0; seq < 50; seq++ {
+			if a(stage, seq) != b(stage, seq) {
+				t.Fatalf("sampler not deterministic at (%d,%d)", stage, seq)
+			}
+		}
+	}
+	// Independent of call order.
+	c := app.Sampler(11)
+	want := c(2, 40)
+	d := app.Sampler(11)
+	_ = d(0, 0)
+	_ = d(1, 7)
+	if got := d(2, 40); got != want {
+		t.Fatalf("sampler depends on call order: %v vs %v", got, want)
+	}
+}
+
+func TestDeterministicAppHasNilSampler(t *testing.T) {
+	app := Balanced(4, 0.1, 100)
+	if app.Sampler(1) != nil {
+		t.Fatal("zero-CV app should use deterministic spec work")
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	app := Balanced(6, 0.2, 500)
+	if app.Spec.NumStages() != 6 {
+		t.Fatalf("stages = %d", app.Spec.NumStages())
+	}
+	if app.Spec.TotalWork() != 1.2 {
+		t.Fatalf("total work = %v", app.Spec.TotalWork())
+	}
+}
+
+// End-to-end: every bundled app runs on a small grid and its measured
+// throughput lands within a sane band of the model's prediction.
+func TestAppsRunOnGrid(t *testing.T) {
+	for _, app := range All() {
+		g, err := grid.Homogeneous(app.Spec.NumStages(), 1, grid.LANLink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := model.OneToOne(app.Spec.NumStages())
+		pred, err := model.Predict(g, app.Spec, m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := &sim.Engine{}
+		e, err := exec.New(eng, g, app.Spec, m, exec.Options{
+			MaxInFlight: 4 * app.Spec.NumStages(),
+			WorkSampler: app.Sampler(1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 800
+		makespan, err := e.RunItems(n)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		measured := float64(n) / makespan
+		// Variable service times push measured throughput below the
+		// deterministic saturation bound; allow a broad but meaningful
+		// band.
+		if measured > pred.Throughput*1.02 {
+			t.Errorf("%s: measured %v exceeds model bound %v", app.Name, measured, pred.Throughput)
+		}
+		if measured < pred.Throughput*0.5 {
+			t.Errorf("%s: measured %v implausibly far below bound %v", app.Name, measured, pred.Throughput)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package gridpipe
+
+import (
+	"fmt"
+	"io"
+
+	"gridpipe/internal/adaptive"
+	"gridpipe/internal/exec"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/sched"
+	"gridpipe/internal/sim"
+	"gridpipe/internal/workload"
+)
+
+// SimGrid is a modelled computational grid for Simulate.
+type SimGrid struct {
+	g *grid.Grid
+}
+
+// HomogeneousGrid builds a grid of n identical speed-1 nodes on a LAN.
+func HomogeneousGrid(n int) (*SimGrid, error) {
+	g, err := grid.Homogeneous(n, 1, grid.LANLink)
+	if err != nil {
+		return nil, err
+	}
+	return &SimGrid{g: g}, nil
+}
+
+// HeterogeneousGrid builds a LAN grid with one node per relative speed.
+func HeterogeneousGrid(speeds ...float64) (*SimGrid, error) {
+	g, err := grid.Heterogeneous(speeds, grid.LANLink)
+	if err != nil {
+		return nil, err
+	}
+	return &SimGrid{g: g}, nil
+}
+
+// GridFromJSON builds a grid from the JSON schema documented in
+// internal/grid (nodes with speeds/cores/load traces, link overrides).
+func GridFromJSON(r io.Reader) (*SimGrid, error) {
+	cfg, err := grid.LoadConfig(r)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &SimGrid{g: g}, nil
+}
+
+// NumNodes returns the node count.
+func (s *SimGrid) NumNodes() int { return s.g.NumNodes() }
+
+// Describe renders a human-readable summary.
+func (s *SimGrid) Describe() string { return s.g.String() }
+
+// Policy names accepted by SimOptions.
+const (
+	PolicyStatic     = "static"
+	PolicyPeriodic   = "periodic"
+	PolicyReactive   = "reactive"
+	PolicyPredictive = "predictive"
+	PolicyOracle     = "oracle"
+)
+
+func parsePolicy(name string) (adaptive.Policy, error) {
+	switch name {
+	case "", PolicyStatic:
+		return adaptive.PolicyStatic, nil
+	case PolicyPeriodic:
+		return adaptive.PolicyPeriodic, nil
+	case PolicyReactive:
+		return adaptive.PolicyReactive, nil
+	case PolicyPredictive:
+		return adaptive.PolicyPredictive, nil
+	case PolicyOracle:
+		return adaptive.PolicyOracle, nil
+	default:
+		return 0, fmt.Errorf("gridpipe: unknown policy %q", name)
+	}
+}
+
+// SimOptions tune a simulation run.
+type SimOptions struct {
+	// Items > 0 runs that many items to completion; otherwise Duration
+	// seconds of virtual time with a saturated source.
+	Items    int
+	Duration float64
+	// Policy is one of the Policy* constants (default static).
+	Policy string
+	// InBytes is the input message size entering stage 1.
+	InBytes float64
+	// CV is the coefficient of variation of per-item service demand
+	// (0 = deterministic).
+	CV float64
+	// Interval is the controller period in virtual seconds (default 1).
+	Interval float64
+	// Seed drives all randomness.
+	Seed uint64
+	// KillRestart switches the remap protocol from the default
+	// drain-safe.
+	KillRestart bool
+}
+
+// SimReport is the outcome of one simulated run.
+type SimReport struct {
+	// Done is the number of items completed.
+	Done int
+	// Makespan is the virtual completion time (fixed-item runs only).
+	Makespan float64
+	// Throughput is Done/elapsed in items per virtual second.
+	Throughput float64
+	// MeanLatency is the average per-item traversal time.
+	MeanLatency float64
+	// Remaps is how many reconfigurations the controller performed.
+	Remaps int
+	// Migrations is how many queued items remaps moved.
+	Migrations int
+	// InitialMapping and FinalMapping are tuple renderings of the
+	// deployment-time and end-of-run mappings.
+	InitialMapping, FinalMapping string
+	// PredictedThroughput is the analytic model's estimate for the
+	// initial mapping at zero load.
+	PredictedThroughput float64
+}
+
+// Simulate runs the pipeline's cost model on a simulated grid. The
+// initial mapping is searched at zero load (a deployment-time
+// decision); the selected policy then adapts it as the grid's load
+// traces unfold.
+func (p *Pipeline) Simulate(sg *SimGrid, opts SimOptions) (SimReport, error) {
+	if sg == nil {
+		return SimReport{}, fmt.Errorf("gridpipe: nil grid")
+	}
+	if (opts.Items > 0) == (opts.Duration > 0) {
+		return SimReport{}, fmt.Errorf("gridpipe: set exactly one of Items/Duration")
+	}
+	pol, err := parsePolicy(opts.Policy)
+	if err != nil {
+		return SimReport{}, err
+	}
+	spec := p.spec
+	spec.InBytes = opts.InBytes
+
+	m0, _, err := (sched.LocalSearch{Seed: opts.Seed}).Search(sg.g, spec, nil)
+	if err != nil {
+		return SimReport{}, err
+	}
+	m0, pred, err := sched.ImproveWithReplication(sg.g, spec, m0, nil, 0)
+	if err != nil {
+		return SimReport{}, err
+	}
+
+	app := workload.App{Name: "user", Spec: spec, CV: opts.CV}
+	eng := &sim.Engine{}
+	ex, err := exec.New(eng, sg.g, spec, m0, exec.Options{
+		MaxInFlight: 4 * spec.NumStages(),
+		WorkSampler: app.Sampler(opts.Seed),
+		Seed:        opts.Seed,
+	})
+	if err != nil {
+		return SimReport{}, err
+	}
+	proto := exec.DrainSafe
+	if opts.KillRestart {
+		proto = exec.KillRestart
+	}
+	ctrl, err := adaptive.NewController(eng, sg.g, ex, spec, adaptive.Config{
+		Policy:   pol,
+		Interval: opts.Interval,
+		Protocol: proto,
+		Searcher: sched.LocalSearch{Seed: opts.Seed + 1},
+	})
+	if err != nil {
+		return SimReport{}, err
+	}
+	ctrl.Start()
+
+	rep := SimReport{
+		InitialMapping:      m0.String(),
+		PredictedThroughput: pred.Throughput,
+	}
+	var elapsed float64
+	if opts.Items > 0 {
+		ms, err := ex.RunItems(opts.Items)
+		if err != nil {
+			return SimReport{}, err
+		}
+		rep.Makespan = ms
+		rep.Done = opts.Items
+		elapsed = ms
+	} else {
+		rep.Done = ex.RunUntil(opts.Duration)
+		elapsed = opts.Duration
+	}
+	ctrl.Stop()
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Done) / elapsed
+	}
+	lats := ex.Latencies()
+	if len(lats) > 0 {
+		sum := 0.0
+		for _, l := range lats {
+			sum += l
+		}
+		rep.MeanLatency = sum / float64(len(lats))
+	}
+	st := ctrl.Stats()
+	rep.Remaps = st.Remaps
+	rep.Migrations = ex.Migrations()
+	rep.FinalMapping = ex.Mapping().String()
+	return rep, nil
+}
+
+// PredictMapping exposes the analytic model for a caller-supplied node
+// load vector: it returns the best mapping's tuple string and its
+// predicted throughput. It is the "what would the scheduler do" probe
+// used by cmd/adaptpipe's -explain flag.
+func (p *Pipeline) PredictMapping(sg *SimGrid, loads []float64, seed uint64) (string, float64, error) {
+	m, _, err := (sched.LocalSearch{Seed: seed}).Search(sg.g, p.spec, loads)
+	if err != nil {
+		return "", 0, err
+	}
+	m, pred, err := sched.ImproveWithReplication(sg.g, p.spec, m, loads, 0)
+	if err != nil {
+		return "", 0, err
+	}
+	return m.String(), pred.Throughput, nil
+}
+
+// Spec returns a copy of the pipeline's modelled specification
+// (stage names, weights, message sizes).
+func (p *Pipeline) Spec() []StageInfo {
+	out := make([]StageInfo, len(p.spec.Stages))
+	for i, s := range p.spec.Stages {
+		out[i] = StageInfo{
+			Name: s.Name, Weight: s.Work, OutBytes: s.OutBytes, Replicable: s.Replicable,
+		}
+	}
+	return out
+}
+
+// StageInfo is the public view of one modelled stage.
+type StageInfo struct {
+	Name       string
+	Weight     float64
+	OutBytes   float64
+	Replicable bool
+}
