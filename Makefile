@@ -1,0 +1,34 @@
+# Tier-1 gate (`make check`) plus developer conveniences.
+
+GO ?= go
+
+.PHONY: check build vet test bench-smoke bench bench-json race
+
+check: build vet test bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# A short benchmark smoke: the hot-path micro-benchmarks only, one
+# quick pass each, with -benchmem so allocation regressions surface in
+# the gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'EngineScheduleStep|ReorderStage$$|FarmUnordered|ExecRunItems' -benchmem -benchtime 100x .
+
+# The full benchmark suite: every experiment + every micro-benchmark.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Regenerate the machine-readable perf snapshot (see DESIGN.md,
+# "Benchmark protocol"; bump the file number to your PR number).
+bench-json:
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_1.json
+
+race:
+	$(GO) test -race ./...

@@ -57,6 +57,30 @@ func BenchmarkA1Triggers(b *testing.B)           { benchExperiment(b, "A1") }
 func BenchmarkA2RemapProtocol(b *testing.B)      { benchExperiment(b, "A2") }
 func BenchmarkA3Hysteresis(b *testing.B)         { benchExperiment(b, "A3") }
 
+// --- hot-path micro-benchmarks ------------------------------------------
+
+// The canonical hot-path micro-benchmarks live in internal/bench
+// (Micros) so cmd/pipebench can run the same suite and emit
+// BENCH_*.json; these wrappers expose each one to `go test -bench`.
+// Run with -benchmem: the allocs/op columns are the numbers the
+// acceptance gates track (see DESIGN.md, "Benchmark protocol").
+
+func benchMicro(b *testing.B, name string) {
+	m, err := bench.MicroByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(b)
+}
+
+func BenchmarkEngineScheduleStep(b *testing.B)   { benchMicro(b, "engine/schedule_step") }
+func BenchmarkEngineSeedCalendar(b *testing.B)   { benchMicro(b, "engine/seed_calendar") }
+func BenchmarkEngineScheduleCancel(b *testing.B) { benchMicro(b, "engine/schedule_cancel") }
+func BenchmarkReorderStage(b *testing.B)         { benchMicro(b, "pipeline/reorder_stage") }
+func BenchmarkSeedReorderStage(b *testing.B)     { benchMicro(b, "pipeline/seed_reorder_stage") }
+func BenchmarkFarmUnordered(b *testing.B)        { benchMicro(b, "farm/unordered") }
+func BenchmarkExecRunItems(b *testing.B)         { benchMicro(b, "exec/run_items") }
+
 // --- micro-benchmarks ---------------------------------------------------
 
 // BenchmarkLivePipeline measures per-item overhead of the live skeleton

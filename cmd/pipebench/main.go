@@ -1,34 +1,45 @@
 // Command pipebench regenerates the tables and figures of the
-// reconstructed evaluation suite (see DESIGN.md's experiment index).
+// reconstructed evaluation suite (see DESIGN.md's experiment index)
+// and tracks the hot-path performance trajectory.
 //
 // Usage:
 //
 //	pipebench -list
 //	pipebench -exp F1 [-seed 42] [-csv]
 //	pipebench -all [-seed 42]
+//	pipebench -bench [-benchout BENCH_1.json]
 //
 // Each experiment prints its tables; -csv additionally dumps every
-// figure series as CSV for offline plotting.
+// figure series as CSV for offline plotting. -bench runs the hot-path
+// micro-benchmark suite (internal/bench.Micros) and writes a
+// machine-readable BENCH_*.json — ns/op, B/op, allocs/op, items/s per
+// benchmark, plus the recorded seed baseline the current numbers are
+// gated against (format documented in DESIGN.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"gridpipe/internal/bench"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments")
-		exp    = flag.String("exp", "", "experiment id to run (e.g. F1, T2)")
-		all    = flag.Bool("all", false, "run every experiment")
-		seed   = flag.Uint64("seed", 42, "random seed")
-		csv    = flag.Bool("csv", false, "also print figure series as CSV")
-		outdir = flag.String("outdir", "", "write every table and series as CSV files into this directory")
+		list     = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment id to run (e.g. F1, T2)")
+		all      = flag.Bool("all", false, "run every experiment")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		csv      = flag.Bool("csv", false, "also print figure series as CSV")
+		outdir   = flag.String("outdir", "", "write every table and series as CSV files into this directory")
+		benchRun = flag.Bool("bench", false, "run the hot-path micro-benchmark suite")
+		benchOut = flag.String("benchout", "BENCH_1.json", "file the -bench results are written to")
 	)
 	flag.Parse()
 
@@ -36,6 +47,11 @@ func main() {
 	case *list:
 		for _, e := range bench.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case *benchRun:
+		if err := runBench(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: bench: %v\n", err)
+			os.Exit(1)
 		}
 	case *all:
 		for _, e := range bench.All() {
@@ -58,6 +74,61 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// benchReport is the schema of a BENCH_*.json file (see DESIGN.md,
+// "Benchmark protocol").
+type benchReport struct {
+	Bench       string              `json:"bench"`
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	GOOS        string              `json:"goos"`
+	GOARCH      string              `json:"goarch"`
+	CPUs        int                 `json:"cpus"`
+	Micro       []bench.MicroResult `json:"micro"`
+	// SeedBaseline records the seed commit's (e363cbf) hot-path
+	// numbers, measured with the pre-rewrite benchmarks on the same
+	// class of machine, so every BENCH file carries the comparison
+	// point its allocation-reduction gates refer to.
+	SeedBaseline []bench.MicroResult `json:"seed_baseline"`
+}
+
+// seedBaseline: measured at the seed commit with
+// `go test -bench 'DiscreteEventEngine|LivePipeline|SimExecutor' -benchmem`.
+// The engine row is per 64-event batch (seed: one *Event allocation per
+// Schedule) to match engine/schedule_step's unit.
+var seedBaseline = []bench.MicroResult{
+	{Name: "engine/schedule_step", Desc: "seed container/heap calendar, per 64-event batch", NsPerOp: 64.92 * 64, BytesPerOp: 47 * 64, AllocsPerOp: 64},
+	{Name: "pipeline/reorder_stage", Desc: "seed goroutine-per-item + map reorderer, per item", NsPerOp: 5524, BytesPerOp: 440, AllocsPerOp: 6},
+	{Name: "exec/run_items", Desc: "seed executor, per simulated item", NsPerOp: 2663, BytesPerOp: 1456, AllocsPerOp: 37},
+}
+
+// runBench executes the micro suite and writes the JSON report.
+func runBench(out string) error {
+	fmt.Printf("running %d hot-path micro-benchmarks...\n", len(bench.Micros()))
+	rep := benchReport{
+		Bench:        strings.TrimSuffix(filepath.Base(out), ".json"),
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+		CPUs:         runtime.NumCPU(),
+		Micro:        bench.RunMicros(),
+		SeedBaseline: seedBaseline,
+	}
+	for _, m := range rep.Micro {
+		fmt.Printf("%-30s %12.1f ns/op %8d B/op %6d allocs/op %14.0f items/s\n",
+			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.ItemsPerSec)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 func runOne(e bench.Experiment, seed uint64, csv bool, outdir string) error {

@@ -1,0 +1,3 @@
+module gridpipe
+
+go 1.24

@@ -1,0 +1,225 @@
+package bench
+
+// Micro-benchmarks for the hot paths: the event calendar, the live
+// skeleton's replicated-stage boundary (dispatch + reorder), the farm,
+// and an end-to-end simulated run. They exist in the library (not only
+// under _test) so cmd/pipebench can execute them with
+// testing.Benchmark and emit machine-readable BENCH_*.json files; the
+// root bench_test.go wraps each one as a normal `go test -bench`
+// benchmark.
+//
+// Each benchmark reports allocations and an "items/s" metric (events/s
+// for the calendar): the two numbers the perf trajectory tracks from
+// PR 1 onward (see DESIGN.md, "Benchmark protocol").
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gridpipe/internal/exec"
+	"gridpipe/internal/farm"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/pipeline"
+	"gridpipe/internal/sim"
+)
+
+// Micro is one named micro-benchmark.
+type Micro struct {
+	Name string
+	Desc string
+	Run  func(b *testing.B)
+}
+
+// Micros returns the micro-benchmark suite in a stable order.
+func Micros() []Micro {
+	return []Micro{
+		{
+			Name: "engine/schedule_step",
+			Desc: "event calendar: 64 Schedule→Step cycles per op (pooled slab + index heap)",
+			Run:  benchEngineScheduleStep,
+		},
+		{
+			Name: "engine/seed_calendar",
+			Desc: "reference: the seed's container/heap calendar (one *Event alloc per Schedule)",
+			Run:  benchSeedCalendar,
+		},
+		{
+			Name: "engine/schedule_cancel",
+			Desc: "event calendar: schedule 64, cancel half through handles, drain",
+			Run:  benchEngineScheduleCancel,
+		},
+		{
+			Name: "pipeline/reorder_stage",
+			Desc: "live replicated-stage boundary: persistent workers + ring reorderer, per item",
+			Run:  benchPipelineReorderStage,
+		},
+		{
+			Name: "pipeline/seed_reorder_stage",
+			Desc: "reference: the seed's stage boundary (goroutine per item + map[int]any reorderer)",
+			Run:  benchSeedReorderStage,
+		},
+		{
+			Name: "farm/unordered",
+			Desc: "unordered farm throughput: persistent workers + atomic meter, per item",
+			Run:  benchFarmUnordered,
+		},
+		{
+			Name: "exec/run_items",
+			Desc: "end-to-end simulated item through a 4-stage mapped pipeline (pooled items/tasks/transfers)",
+			Run:  benchExecRunItems,
+		},
+	}
+}
+
+// MicroByName returns the named micro-benchmark.
+func MicroByName(name string) (Micro, error) {
+	for _, m := range Micros() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Micro{}, fmt.Errorf("bench: unknown micro-benchmark %q", name)
+}
+
+// MicroResult is the machine-readable outcome of one micro-benchmark,
+// the row format of BENCH_*.json.
+type MicroResult struct {
+	Name        string  `json:"name"`
+	Desc        string  `json:"desc"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	ItemsPerSec float64 `json:"items_per_s,omitempty"`
+}
+
+// RunMicros executes the whole suite with testing.Benchmark and
+// returns one result per benchmark.
+func RunMicros() []MicroResult {
+	micros := Micros()
+	out := make([]MicroResult, 0, len(micros))
+	for _, m := range micros {
+		r := testing.Benchmark(m.Run)
+		out = append(out, MicroResult{
+			Name:        m.Name,
+			Desc:        m.Desc,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			ItemsPerSec: r.Extra["items/s"],
+		})
+	}
+	return out
+}
+
+// calendarBatch is the number of Schedule→Step cycles per benchmark op:
+// large enough that per-op alloc counts are integers, small enough that
+// the heap stays realistic.
+const calendarBatch = 64
+
+func benchEngineScheduleStep(b *testing.B) {
+	var eng sim.Engine
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < calendarBatch; j++ {
+			eng.Schedule(float64(j&7), fn)
+		}
+		for eng.Step() {
+		}
+	}
+	b.ReportMetric(float64(b.N*calendarBatch)/b.Elapsed().Seconds(), "items/s")
+}
+
+func benchEngineScheduleCancel(b *testing.B) {
+	var eng sim.Engine
+	fn := func() {}
+	var handles [calendarBatch]sim.Event
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < calendarBatch; j++ {
+			handles[j] = eng.Schedule(float64(j&7), fn)
+		}
+		for j := 0; j < calendarBatch; j += 2 {
+			handles[j].Cancel()
+		}
+		for eng.Step() {
+		}
+	}
+	b.ReportMetric(float64(b.N*calendarBatch)/b.Elapsed().Seconds(), "items/s")
+}
+
+// stageItems runs b.N pre-boxed items through a 1-stage skeleton run
+// function and reports per-item metrics. Values are pre-boxed (nil) so
+// the measurement isolates the skeleton machinery from caller-side
+// interface boxing.
+func stageItems(b *testing.B, run func(ctx context.Context, in <-chan any) (<-chan any, <-chan error)) {
+	in := make(chan any, 256)
+	out, errs := run(context.Background(), in)
+	b.ReportAllocs()
+	b.ResetTimer()
+	go func() {
+		for i := 0; i < b.N; i++ {
+			in <- nil
+		}
+		close(in)
+	}()
+	count := 0
+	for range out {
+		count++
+	}
+	if err := <-errs; err != nil {
+		b.Fatal(err)
+	}
+	if count != b.N {
+		b.Fatalf("lost items: %d of %d", count, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "items/s")
+}
+
+func benchPipelineReorderStage(b *testing.B) {
+	ident := func(ctx context.Context, v any) (any, error) { return v, nil }
+	p, err := pipeline.New(pipeline.Stage{Name: "r", Fn: ident, Replicas: 8, Buffer: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stageItems(b, p.Run)
+}
+
+func benchFarmUnordered(b *testing.B) {
+	ident := func(ctx context.Context, v any) (any, error) { return v, nil }
+	f, err := farm.New(ident, farm.Options{Workers: 8, Buffer: 64, Unordered: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stageItems(b, f.Run)
+}
+
+func benchExecRunItems(b *testing.B) {
+	g, err := grid.Homogeneous(4, 1, grid.LANLink)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := model.Balanced(4, 0.1, 1e5)
+	items := b.N
+	if items < 10 {
+		items = 10
+	}
+	eng := acquireEngine()
+	defer releaseEngine(eng)
+	e, err := exec.New(eng, g, spec, model.OneToOne(4), exec.Options{MaxInFlight: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := e.RunItems(items); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(items)/b.Elapsed().Seconds(), "items/s")
+}

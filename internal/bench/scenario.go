@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"gridpipe/internal/adaptive"
 	"gridpipe/internal/exec"
@@ -13,6 +14,30 @@ import (
 	"gridpipe/internal/trace"
 	"gridpipe/internal/workload"
 )
+
+// enginePool recycles simulation engines across experiment runs: a
+// Reset engine keeps its event-slab capacity, so the thousands of runs
+// behind a sweep re-enter allocation-free steady state immediately
+// instead of re-growing a calendar each time.
+var enginePool = sync.Pool{New: func() any { return new(sim.Engine) }}
+
+// acquireEngine returns a zeroed engine (clock at 0, empty calendar)
+// with whatever slab capacity its previous run grew.
+func acquireEngine() *sim.Engine {
+	e := enginePool.Get().(*sim.Engine)
+	e.Reset()
+	return e
+}
+
+// releaseEngine resets an engine and returns it to the pool. The Reset
+// here (acquire resets again, harmlessly) drops the finished run's
+// un-fired events — controller tickers, queued arrivals — whose
+// callbacks would otherwise keep the whole executor reachable from
+// the pool.
+func releaseEngine(e *sim.Engine) {
+	e.Reset()
+	enginePool.Put(e)
+}
 
 // stepTrace is a zero load that jumps to level at t.
 func stepTrace(t, level float64) trace.Trace {
@@ -53,7 +78,8 @@ func run(c runConfig) (runOutcome, error) {
 	if (c.Items > 0) == (c.Duration > 0) {
 		return runOutcome{}, fmt.Errorf("bench: set exactly one of Items/Duration")
 	}
-	eng := &sim.Engine{}
+	eng := acquireEngine()
+	defer releaseEngine(eng)
 	maxIF := c.MaxInFlight
 	if maxIF <= 0 {
 		maxIF = 4 * c.App.Spec.NumStages()

@@ -8,7 +8,6 @@ import (
 	"gridpipe/internal/model"
 	"gridpipe/internal/rng"
 	"gridpipe/internal/sched"
-	"gridpipe/internal/sim"
 	"gridpipe/internal/stats"
 	"gridpipe/internal/trace"
 	"gridpipe/internal/workload"
@@ -107,7 +106,8 @@ func runT5(seed uint64) (*Result, error) {
 // simulatePoissonLatency measures mean pipeline latency with Poisson
 // arrivals and (optionally) exponential service.
 func simulatePoissonLatency(seed uint64, g *grid.Grid, spec model.PipelineSpec, m model.Mapping, lambda, cv float64) (float64, error) {
-	eng := &sim.Engine{}
+	eng := acquireEngine()
+	defer releaseEngine(eng)
 	var sampler func(stage, seq int) float64
 	if cv > 0 {
 		root := rng.New(seed + 7)
@@ -171,7 +171,7 @@ func runA3(seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		eng := &sim.Engine{}
+		eng := acquireEngine()
 		ex, err := exec.New(eng, g, app.Spec, m0, exec.Options{
 			MaxInFlight: 4 * app.Spec.NumStages(),
 			WorkSampler: app.Sampler(seed),
@@ -198,6 +198,7 @@ func runA3(seed uint64) (*Result, error) {
 			perRemap = float64(done) / float64(st.Remaps)
 		}
 		tb.AddRowf(gain, done, st.Remaps, ex.Migrations(), perRemap)
+		releaseEngine(eng)
 	}
 	tb.AddNote("expected shape: remaps fall sharply with gain; throughput stays flat or improves — churn buys nothing")
 	res.Tables = []*stats.Table{tb}

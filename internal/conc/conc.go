@@ -1,0 +1,165 @@
+// Package conc provides the small concurrency primitives shared by the
+// live skeletons (pipeline and farm): a resizable concurrency limiter
+// and an atomic service-time meter. Both are tuned for the per-item hot
+// path — the limiter wakes exactly one waiter per release instead of
+// broadcasting to all of them, and the meter records a sample with
+// three atomic operations instead of taking a mutex.
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Limiter is a resizable concurrency limiter: Acquire blocks while the
+// number of holders is at or above the current limit. SetLimit may
+// shrink or grow the limit while goroutines hold or wait; shrinking
+// takes effect as holders release, growing wakes every waiter so all
+// newly legal slots fill at once.
+type Limiter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	limit int
+	inUse int
+}
+
+// NewLimiter returns a limiter admitting n concurrent holders.
+func NewLimiter(n int) *Limiter {
+	l := &Limiter{limit: n}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Acquire blocks until a slot is free, then takes it, returning the
+// number of slots now held (this one included). The count lets a
+// dispatcher size a worker pool without a second lock acquisition.
+func (l *Limiter) Acquire() int {
+	l.mu.Lock()
+	for l.inUse >= l.limit {
+		l.cond.Wait()
+	}
+	l.inUse++
+	n := l.inUse
+	l.mu.Unlock()
+	return n
+}
+
+// Release frees a slot, waking one waiter. Waking exactly one is
+// enough: a release frees exactly one slot, and every waiter re-checks
+// the limit under the mutex, so a waiter woken into a shrunken limit
+// simply waits again. Resize wake-ups are SetLimit's job.
+func (l *Limiter) Release() {
+	l.mu.Lock()
+	l.inUse--
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// SetLimit resizes the limiter. It must broadcast, not signal: growing
+// from n to n+k legalises k waiters at once, and waking only one would
+// strand the rest until the next Release dribbles them in.
+func (l *Limiter) SetLimit(n int) {
+	l.mu.Lock()
+	l.limit = n
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Limit returns the current limit.
+func (l *Limiter) Limit() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// InUse returns the number of currently held slots.
+func (l *Limiter) InUse() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inUse
+}
+
+// Pool is a lazily-grown pool of persistent workers bounded by a
+// Limiter: Submit admits an item through the limiter, growing the
+// pool by one worker whenever every live worker is busy, so the pool
+// converges on the limit's high-water mark and no goroutine is ever
+// spawned per item in steady state.
+//
+// Submit must be called from a single dispatcher goroutine; workers
+// run the process function concurrently. The limiter may be resized
+// while the pool runs. Close after the last Submit; it waits for all
+// submitted items to finish processing.
+type Pool[T any] struct {
+	lim     *Limiter
+	work    chan T
+	workers sync.WaitGroup
+	spawned int
+	process func(T)
+}
+
+// NewPool builds a pool whose workers run process on each submitted
+// item. The buffer lets the dispatcher run ahead of the workers; the
+// limiter, not the buffer, bounds concurrency.
+func NewPool[T any](lim *Limiter, buffer int, process func(T)) *Pool[T] {
+	return &Pool[T]{lim: lim, work: make(chan T, buffer), process: process}
+}
+
+// Submit blocks until the limiter admits the item, then queues it for
+// a worker. The worker releases the limiter slot when process returns.
+func (p *Pool[T]) Submit(v T) {
+	if inUse := p.lim.Acquire(); p.spawned < inUse {
+		// Fewer workers than admitted in-flight items: grow by one.
+		p.workers.Add(1)
+		go p.worker()
+		p.spawned++
+	}
+	p.work <- v
+}
+
+func (p *Pool[T]) worker() {
+	defer p.workers.Done()
+	for v := range p.work {
+		p.process(v)
+		p.lim.Release()
+	}
+}
+
+// Close stops intake and waits for every submitted item to finish.
+func (p *Pool[T]) Close() {
+	close(p.work)
+	p.workers.Wait()
+}
+
+// Meter is a goroutine-safe service-time accumulator with atomic
+// fields: count, sum, and max of recorded durations. The zero value is
+// ready for use.
+type Meter struct {
+	count atomic.Int64
+	sumNs atomic.Int64
+	maxNs atomic.Int64
+}
+
+// Record adds one sample.
+func (m *Meter) Record(d time.Duration) {
+	ns := int64(d)
+	m.count.Add(1)
+	m.sumNs.Add(ns)
+	for {
+		cur := m.maxNs.Load()
+		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the sample count, mean, and max. The three loads are
+// individually atomic but not mutually consistent — fine for the
+// monitoring read-side, which only ever sees a slightly stale mean.
+func (m *Meter) Snapshot() (count int, mean, max time.Duration) {
+	n := m.count.Load()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return int(n), time.Duration(m.sumNs.Load() / n), time.Duration(m.maxNs.Load())
+}

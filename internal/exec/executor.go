@@ -89,7 +89,8 @@ type RemapStats struct {
 	Changed bool
 }
 
-// item is one unit flowing through the pipeline.
+// item is one unit flowing through the pipeline. Items are pooled on
+// the executor: admitted from the free list, recycled at completion.
 type item struct {
 	seq     int
 	stage   int       // current stage index
@@ -98,11 +99,13 @@ type item struct {
 }
 
 // task is an item waiting for or receiving service at a stage replica.
+// Tasks are pooled alongside items.
 type task struct {
 	it         *item
 	node       grid.NodeID
-	completion *sim.Event // non-nil while in service
+	completion sim.Event // pending while in service
 	serviceT0  float64
+	svcIdx     int32 // position in the node's in-service slice
 }
 
 // Executor simulates one pipeline run.
@@ -127,6 +130,12 @@ type Executor struct {
 
 	latencies []float64 // per-item pipeline traversal times
 	poisson   *poissonSource
+
+	// Free lists: steady-state admission, service, and transfer reuse
+	// these instead of allocating per item/task/hop.
+	itemFree []*item
+	taskFree []*task
+	txFree   []*transfer
 }
 
 type linkKey struct{ a, b grid.NodeID }
@@ -208,26 +217,29 @@ func (e *Executor) canAdmit() bool {
 	return e.inFlight < e.opts.MaxInFlight
 }
 
+// poissonArrival is the shared arrival trampoline: one bound function
+// for all executors keeps the arrival stream allocation-free.
+func poissonArrival(arg any) {
+	e := arg.(*Executor)
+	// Poisson arrivals ignore the window: queueing is the point.
+	e.admit()
+	e.scheduleNextArrival()
+}
+
 func (e *Executor) scheduleNextArrival() {
 	if e.opts.TotalItems > 0 && e.admitted >= e.opts.TotalItems {
 		return
 	}
 	gap := e.poisson.next()
-	e.eng.Schedule(gap, func() {
-		// Poisson arrivals ignore the window: queueing is the point.
-		e.admit()
-		e.scheduleNextArrival()
-	})
+	e.eng.ScheduleArg(gap, poissonArrival, e)
 }
 
 // admit injects the next item at the source node.
 func (e *Executor) admit() {
-	it := &item{
-		seq:     e.admitted,
-		stage:   0,
-		work:    make([]float64, e.spec.NumStages()),
-		started: e.eng.Now(),
-	}
+	it := e.getItem()
+	it.seq = e.admitted
+	it.stage = 0
+	it.started = e.eng.Now()
 	for i := range it.work {
 		it.work[i] = math.NaN() // sampled lazily at first service
 	}
@@ -235,6 +247,54 @@ func (e *Executor) admit() {
 	e.inFlight++
 	dest := e.pickReplica(0)
 	e.transfer(it, e.spec.Source, dest, e.spec.InBytes)
+}
+
+// getItem takes an item from the pool, with its work slice sized for
+// the spec; the caller fills the per-run fields.
+func (e *Executor) getItem() *item {
+	if n := len(e.itemFree); n > 0 {
+		it := e.itemFree[n-1]
+		e.itemFree = e.itemFree[:n-1]
+		return it
+	}
+	return &item{work: make([]float64, e.spec.NumStages())}
+}
+
+func (e *Executor) putItem(it *item) {
+	e.itemFree = append(e.itemFree, it)
+}
+
+// getTask takes a task from the pool, bound to an item and node.
+func (e *Executor) getTask(it *item, node grid.NodeID) *task {
+	if n := len(e.taskFree); n > 0 {
+		t := e.taskFree[n-1]
+		e.taskFree = e.taskFree[:n-1]
+		t.it, t.node = it, node
+		return t
+	}
+	return &task{it: it, node: node}
+}
+
+func (e *Executor) putTask(t *task) {
+	t.it = nil
+	t.completion = sim.Event{}
+	e.taskFree = append(e.taskFree, t)
+}
+
+// getTransfer takes a link transfer from the pool.
+func (e *Executor) getTransfer(it *item, bytes float64) *transfer {
+	if n := len(e.txFree); n > 0 {
+		tx := e.txFree[n-1]
+		e.txFree = e.txFree[:n-1]
+		tx.it, tx.bytes, tx.serial = it, bytes, 0
+		return tx
+	}
+	return &transfer{it: it, bytes: bytes}
+}
+
+func (e *Executor) putTransfer(tx *transfer) {
+	tx.it = nil
+	e.txFree = append(e.txFree, tx)
 }
 
 // pickReplica deals the next item of a stage round-robin.
@@ -331,6 +391,7 @@ func (e *Executor) complete(it *item) {
 	now := e.eng.Now()
 	e.mon.RecordCompletion(now)
 	e.latencies = append(e.latencies, now-it.started)
+	e.putItem(it)
 	if e.poisson == nil {
 		for e.canAdmit() {
 			e.admit()

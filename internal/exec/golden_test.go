@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/sim"
+)
+
+// TestGoldenExecutorTrace pins the complete per-item latency trace of a
+// heterogeneous run with a mid-run kill-restart remap. The digest was
+// recorded against the seed engine/executor; the event-calendar and
+// scheduling rewrites must not perturb a single completion time.
+func TestGoldenExecutorTrace(t *testing.T) {
+	const (
+		goldenDigest   = "5672d309194629a2"
+		goldenMakespan = "33.8685"
+	)
+
+	g, err := grid.Heterogeneous([]float64{1, 2, 1.5, 1}, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(4, 0.3, 2e5)
+	m := model.Mapping{Assign: [][]grid.NodeID{{0}, {1, 2}, {3}, {0}}}
+	eng := &sim.Engine{}
+	sampler := func(stage, seq int) float64 {
+		// Deterministic jitter: distinct per (stage, seq), no RNG.
+		return 0.2 + 0.01*float64((stage*31+seq*17)%13)
+	}
+	e, err := New(eng, g, spec, m, Options{
+		MaxInFlight: 12,
+		WorkSampler: sampler,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-run remap with kills: exercises Cancel on in-service events.
+	eng.Schedule(5, func() {
+		nm := model.Mapping{Assign: [][]grid.NodeID{{1}, {2, 3}, {0}, {1}}}
+		if _, err := e.Remap(nm, KillRestart); err != nil {
+			t.Errorf("remap: %v", err)
+		}
+	})
+	makespan, err := e.RunItems(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	h := fnv.New64a()
+	for i, l := range e.Latencies() {
+		fmt.Fprintf(h, "%d:%.12g;", i, l)
+	}
+	if got := fmt.Sprintf("%016x", h.Sum64()); got != goldenDigest {
+		t.Fatalf("latency-trace digest = %s, want %s", got, goldenDigest)
+	}
+	if got := fmt.Sprintf("%.12g", makespan); got != goldenMakespan {
+		t.Fatalf("makespan = %s, want %s", got, goldenMakespan)
+	}
+}

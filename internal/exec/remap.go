@@ -48,24 +48,32 @@ func (e *Executor) Remap(nm model.Mapping, protocol RemapProtocol) (RemapStats, 
 		for _, t := range removed {
 			st.Moved++
 			e.migrations++
-			dest := e.pickReplica(t.it.stage)
-			e.transfer(t.it, nodeID, dest, e.bytesInto(t.it.stage))
+			it := t.it
+			e.putTask(t)
+			dest := e.pickReplica(it.stage)
+			e.transfer(it, nodeID, dest, e.bytesInto(it.stage))
 		}
 
 		if protocol == KillRestart {
+			// The in-service slice has a deterministic (swap-remove)
+			// order, so victim order — and with it the whole
+			// post-remap event sequence — is reproducible across
+			// runs, unlike the seed's map iteration.
 			var victims []*task
-			for t := range ns.inService {
+			for _, t := range ns.inService {
 				if changed[t.it.stage] && !onNode(e.mapping.Assign[t.it.stage], nodeID) {
 					victims = append(victims, t)
 				}
 			}
 			for _, t := range victims {
+				it := t.it
 				ns.abort(t)
+				e.putTask(t)
 				st.Killed++
-				st.RedoneWork += t.it.work[t.it.stage]
-				e.redone += t.it.work[t.it.stage]
-				dest := e.pickReplica(t.it.stage)
-				e.transfer(t.it, nodeID, dest, e.bytesInto(t.it.stage))
+				st.RedoneWork += it.work[it.stage]
+				e.redone += it.work[it.stage]
+				dest := e.pickReplica(it.stage)
+				e.transfer(it, nodeID, dest, e.bytesInto(it.stage))
 			}
 		}
 	}

@@ -2,71 +2,97 @@ package exec
 
 import (
 	"gridpipe/internal/grid"
+	"gridpipe/internal/ring"
 	"gridpipe/internal/rng"
+	"gridpipe/internal/sim"
 )
 
 // nodeServer is the FCFS multi-slot server of one grid node. All
 // stages mapped to the node share its Cores service slots, which is the
 // executable counterpart of the analytic model's "aggregate busy time
 // per node" assumption.
+//
+// The server is allocation-free in steady state: its queue is a ring
+// buffer, tasks come from the executor's pool, in-service tasks sit in
+// a swap-remove slice (a deterministic order — unlike the seed's map —
+// though not insertion order, since removal swaps the tail in), and
+// completions are scheduled through one bound callback instead of a
+// per-task closure.
 type nodeServer struct {
 	e     *Executor
 	node  *grid.Node
-	queue []*task
+	queue ring.FIFO[*task]
 	busy  int
 	// inService tracks tasks currently holding a slot, for the
-	// kill-restart protocol.
-	inService map[*task]struct{}
+	// kill-restart protocol. Each task records its index for O(1)
+	// swap-removal.
+	inService []*task
+	finishFn  func(any) // bound once: finish(task) without a closure per event
 }
 
 func newNodeServer(e *Executor, n *grid.Node) *nodeServer {
-	return &nodeServer{e: e, node: n, inService: map[*task]struct{}{}}
+	s := &nodeServer{e: e, node: n}
+	s.finishFn = func(arg any) { s.finish(arg.(*task)) }
+	return s
 }
 
 // enqueue adds an item for service at its current stage.
 func (s *nodeServer) enqueue(it *item) {
-	t := &task{it: it, node: s.node.ID}
-	s.queue = append(s.queue, t)
+	t := s.e.getTask(it, s.node.ID)
+	s.queue.Push(t)
 	s.dispatch()
 }
 
 // dispatch starts service while slots and work are available.
 func (s *nodeServer) dispatch() {
-	for s.busy < s.node.Cores && len(s.queue) > 0 {
-		t := s.queue[0]
-		s.queue = s.queue[1:]
+	for s.busy < s.node.Cores {
+		t, ok := s.queue.Pop()
+		if !ok {
+			break
+		}
 		s.start(t)
 	}
 }
 
 func (s *nodeServer) start(t *task) {
 	s.busy++
-	s.inService[t] = struct{}{}
+	t.svcIdx = int32(len(s.inService))
+	s.inService = append(s.inService, t)
 	now := s.e.eng.Now()
 	t.serviceT0 = now
 	work := s.e.serviceWork(t.it)
 	dur := s.node.ServiceDuration(work, now)
-	t.completion = s.e.eng.Schedule(dur, func() {
-		s.finish(t)
-	})
+	t.completion = s.e.eng.ScheduleArg(dur, s.finishFn, t)
+}
+
+// unservice removes t from the in-service set by swap-removal.
+func (s *nodeServer) unservice(t *task) {
+	last := len(s.inService) - 1
+	moved := s.inService[last]
+	s.inService[t.svcIdx] = moved
+	moved.svcIdx = t.svcIdx
+	s.inService[last] = nil
+	s.inService = s.inService[:last]
 }
 
 func (s *nodeServer) finish(t *task) {
-	delete(s.inService, t)
+	s.unservice(t)
 	s.busy--
 	now := s.e.eng.Now()
-	s.e.stageFinished(t.it, s.node.ID, now-t.serviceT0)
+	it, dur := t.it, now-t.serviceT0
+	// Recycle before routing: the transfer/delivery below may enqueue
+	// the item's next stage and reuse this very task.
+	s.e.putTask(t)
+	s.e.stageFinished(it, s.node.ID, dur)
 	s.dispatch()
 }
 
 // abort cancels an in-service task (kill-restart protocol) and frees
-// its slot. The caller re-routes the item.
+// its slot. The caller re-routes the item and recycles the task.
 func (s *nodeServer) abort(t *task) {
-	if t.completion != nil {
-		t.completion.Cancel()
-		t.completion = nil
-	}
-	delete(s.inService, t)
+	t.completion.Cancel()
+	t.completion = sim.Event{}
+	s.unservice(t)
 	s.busy--
 	s.dispatch()
 }
@@ -75,22 +101,7 @@ func (s *nodeServer) abort(t *task) {
 // satisfies the predicate, without disturbing relative order of the
 // rest.
 func (s *nodeServer) removeQueued(pred func(*item) bool) []*task {
-	var removed []*task
-	kept := s.queue[:0]
-	for _, t := range s.queue {
-		if pred(t.it) {
-			removed = append(removed, t)
-		} else {
-			kept = append(kept, t)
-		}
-	}
-	// Zero the tail so removed tasks are not retained by the backing
-	// array.
-	for i := len(kept); i < len(s.queue); i++ {
-		s.queue[i] = nil
-	}
-	s.queue = kept
-	return removed
+	return s.queue.RemoveIf(func(t *task) bool { return pred(t.it) })
 }
 
 // linkServer serialises transfers over one directed link: the
@@ -103,30 +114,42 @@ type linkServer struct {
 	// dest is the receiving node: one linkServer exists per directed
 	// node pair. Redirects on arrival are handled by deliver.
 	dest  grid.NodeID
-	queue []pendingTx
+	queue ring.FIFO[*transfer]
 	busy  bool
+	// Bound once: the wire-free and delivery callbacks take the pooled
+	// *transfer as their event argument — no closure per hop.
+	wireFreeFn func(any)
+	deliverFn  func(any)
 }
 
-type pendingTx struct {
-	it    *item
-	bytes float64
+// transfer is one pooled item movement over a link: queued with its
+// size, then in flight carrying its serialisation time.
+type transfer struct {
+	it     *item
+	bytes  float64
+	serial float64
 }
 
 func newLinkServer(e *Executor, l grid.Link, dest grid.NodeID) *linkServer {
-	return &linkServer{e: e, link: l, dest: dest}
+	s := &linkServer{e: e, link: l, dest: dest}
+	s.wireFreeFn = func(arg any) { s.wireFree(arg.(*transfer)) }
+	s.deliverFn = func(arg any) { s.deliverTx(arg.(*transfer)) }
+	return s
 }
 
 func (s *linkServer) enqueue(it *item, bytes float64) {
-	s.queue = append(s.queue, pendingTx{it: it, bytes: bytes})
+	s.queue.Push(s.e.getTransfer(it, bytes))
 	s.pump()
 }
 
 func (s *linkServer) pump() {
-	if s.busy || len(s.queue) == 0 {
+	if s.busy {
 		return
 	}
-	tx := s.queue[0]
-	s.queue = s.queue[1:]
+	tx, ok := s.queue.Pop()
+	if !ok {
+		return
+	}
 	s.busy = true
 	now := s.e.eng.Now()
 	// Occupy the link for the serialisation time only.
@@ -134,15 +157,22 @@ func (s *linkServer) pump() {
 	if serial < 0 {
 		serial = 0
 	}
-	s.e.eng.Schedule(serial, func() {
-		s.busy = false
-		s.pump()
-		// Latency is pure delay after the wire is free again.
-		total := serial + s.link.Latency
-		s.e.eng.Schedule(s.link.Latency, func() {
-			s.e.deliver(tx.it, s.dest, total)
-		})
-	})
+	tx.serial = serial
+	s.e.eng.ScheduleArg(serial, s.wireFreeFn, tx)
+}
+
+// wireFree fires when the serialisation slot frees: the next transfer
+// may start while this one rides out its latency as a pure delay.
+func (s *linkServer) wireFree(tx *transfer) {
+	s.busy = false
+	s.pump()
+	s.e.eng.ScheduleArg(s.link.Latency, s.deliverFn, tx)
+}
+
+func (s *linkServer) deliverTx(tx *transfer) {
+	it, total := tx.it, tx.serial+s.link.Latency
+	s.e.putTransfer(tx)
+	s.e.deliver(it, s.dest, total)
 }
 
 // poissonSource generates exponential inter-arrival gaps.

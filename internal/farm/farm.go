@@ -8,6 +8,10 @@
 // run time — the live counterpart of the adaptivity engine's replicate
 // action, exposed as a standalone skeleton so applications that are a
 // single parallel stage need not wrap themselves in a pipeline.
+//
+// Like the pipeline, the unordered hot path runs persistent workers
+// (no goroutine per task) and records service times in an atomic
+// meter (no mutex per task).
 package farm
 
 import (
@@ -16,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"gridpipe/internal/conc"
 	"gridpipe/internal/pipeline"
 )
 
@@ -48,12 +53,11 @@ type Farm struct {
 	fn   Func
 	opts Options
 
-	mu      sync.Mutex
-	ran     bool
-	pl      *pipeline.Pipeline // ordered mode delegates to a 1-stage pipeline
-	unCount int
-	unMean  *meanAcc
-	limit   *dynLimiter
+	mu    sync.Mutex
+	ran   bool
+	pl    *pipeline.Pipeline // ordered mode delegates to a 1-stage pipeline
+	meter conc.Meter         // unordered-mode service times
+	limit *conc.Limiter
 }
 
 // New validates and builds a farm.
@@ -67,7 +71,7 @@ func New(fn Func, opts Options) (*Farm, error) {
 	if opts.Buffer <= 0 {
 		opts.Buffer = opts.Workers
 	}
-	return &Farm{fn: fn, opts: opts, unMean: &meanAcc{}}, nil
+	return &Farm{fn: fn, opts: opts}, nil
 }
 
 // Run starts the farm over the input stream. Semantics mirror
@@ -98,8 +102,8 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 		return pl.Run(ctx, inputs)
 	}
 
-	// Unordered mode: a plain resizable worker pool.
-	f.limit = newDynLimiter(f.opts.Workers)
+	// Unordered mode: a resizable pool of persistent workers.
+	f.limit = conc.NewLimiter(f.opts.Workers)
 	f.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -115,10 +119,22 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 			cancel()
 		})
 	}
-	var workers sync.WaitGroup
+	pool := conc.NewPool(f.limit, 2*f.opts.Workers, func(v any) {
+		t0 := time.Now()
+		r, err := f.fn(ctx, v)
+		f.meter.Record(time.Since(t0))
+		if err != nil {
+			fail(fmt.Errorf("farm: %w", err))
+			return
+		}
+		select {
+		case out <- r:
+		case <-ctx.Done():
+		}
+	})
 	go func() {
 		defer func() {
-			workers.Wait()
+			pool.Close()
 			if firstErr == nil && ctx.Err() != nil {
 				firstErr = ctx.Err()
 			}
@@ -140,27 +156,7 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 			if !ok {
 				return
 			}
-			f.limit.acquire()
-			workers.Add(1)
-			go func(v any) {
-				defer workers.Done()
-				defer f.limit.release()
-				t0 := time.Now()
-				r, err := f.fn(ctx, v)
-				d := time.Since(t0)
-				f.mu.Lock()
-				f.unCount++
-				f.unMean.add(d)
-				f.mu.Unlock()
-				if err != nil {
-					fail(fmt.Errorf("farm: %w", err))
-					return
-				}
-				select {
-				case out <- r:
-				case <-ctx.Done():
-				}
-			}(v)
+			pool.Submit(v)
 		}
 	}()
 	return out, errs
@@ -206,7 +202,7 @@ func (f *Farm) SetWorkers(n int) error {
 		return f.pl.SetReplicas(0, n)
 	}
 	if f.limit != nil {
-		f.limit.setLimit(n)
+		f.limit.SetLimit(n)
 	}
 	return nil
 }
@@ -224,69 +220,11 @@ func (f *Farm) Stats() Stats {
 			MaxService:  st.MaxService,
 		}
 	}
+	count, mean, max := f.meter.Snapshot()
 	return Stats{
 		Workers:     f.opts.Workers,
-		Done:        f.unCount,
-		MeanService: f.unMean.mean(),
-		MaxService:  f.unMean.max,
+		Done:        count,
+		MeanService: mean,
+		MaxService:  max,
 	}
-}
-
-// meanAcc is a tiny duration accumulator for the unordered path.
-type meanAcc struct {
-	n   int
-	sum time.Duration
-	max time.Duration
-}
-
-func (m *meanAcc) add(d time.Duration) {
-	m.n++
-	m.sum += d
-	if d > m.max {
-		m.max = d
-	}
-}
-
-func (m *meanAcc) mean() time.Duration {
-	if m.n == 0 {
-		return 0
-	}
-	return m.sum / time.Duration(m.n)
-}
-
-// dynLimiter is a resizable concurrency limiter (unordered mode).
-type dynLimiter struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	limit int
-	inUse int
-}
-
-func newDynLimiter(n int) *dynLimiter {
-	l := &dynLimiter{limit: n}
-	l.cond = sync.NewCond(&l.mu)
-	return l
-}
-
-func (l *dynLimiter) acquire() {
-	l.mu.Lock()
-	for l.inUse >= l.limit {
-		l.cond.Wait()
-	}
-	l.inUse++
-	l.mu.Unlock()
-}
-
-func (l *dynLimiter) release() {
-	l.mu.Lock()
-	l.inUse--
-	l.cond.Broadcast()
-	l.mu.Unlock()
-}
-
-func (l *dynLimiter) setLimit(n int) {
-	l.mu.Lock()
-	l.limit = n
-	l.cond.Broadcast()
-	l.mu.Unlock()
 }

@@ -12,6 +12,12 @@
 // Stage parallelism is dynamic: SetReplicas adjusts a stage's worker
 // limit while the pipeline runs, which is the live counterpart of the
 // simulator's replicate action.
+//
+// The per-item hot path is allocation-free in steady state: each stage
+// runs a pool of persistent workers (spawned lazily up to the replica
+// limit's high-water mark, never one goroutine per item), the reorder
+// buffer is a sequence-indexed ring rather than a map, and service
+// times accumulate in atomic meters rather than under a mutex.
 package pipeline
 
 import (
@@ -20,7 +26,8 @@ import (
 	"sync"
 	"time"
 
-	"gridpipe/internal/stats"
+	"gridpipe/internal/conc"
+	"gridpipe/internal/ring"
 )
 
 // Func is the computation of one stage. It must be safe for concurrent
@@ -53,8 +60,8 @@ type StageStats struct {
 // single-use: Run (or Process) may be called once.
 type Pipeline struct {
 	stages []Stage
-	limits []*limiter
-	meters []*meter
+	limits []*conc.Limiter
+	meters []*conc.Meter
 	ran    bool
 	mu     sync.Mutex
 }
@@ -80,8 +87,8 @@ func New(stages ...Stage) (*Pipeline, error) {
 		if st.Buffer <= 0 {
 			st.Buffer = 1
 		}
-		p.limits = append(p.limits, newLimiter(st.Replicas))
-		p.meters = append(p.meters, &meter{})
+		p.limits = append(p.limits, conc.NewLimiter(st.Replicas))
+		p.meters = append(p.meters, &conc.Meter{})
 	}
 	return p, nil
 }
@@ -99,7 +106,7 @@ func (p *Pipeline) SetReplicas(i, n int) error {
 	if n < 1 {
 		return fmt.Errorf("pipeline: SetReplicas(%d) below 1", n)
 	}
-	p.limits[i].setLimit(n)
+	p.limits[i].SetLimit(n)
 	return nil
 }
 
@@ -107,11 +114,11 @@ func (p *Pipeline) SetReplicas(i, n int) error {
 func (p *Pipeline) Stats() []StageStats {
 	out := make([]StageStats, len(p.stages))
 	for i := range p.stages {
-		count, mean, max := p.meters[i].snapshot()
+		count, mean, max := p.meters[i].Snapshot()
 		out[i] = StageStats{
 			Name:        p.stages[i].Name,
 			Count:       count,
-			Replicas:    p.limits[i].getLimit(),
+			Replicas:    p.limits[i].Limit(),
 			MeanService: mean,
 			MaxService:  max,
 		}
@@ -212,8 +219,11 @@ func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-ch
 	return results, errs
 }
 
-// runStage dispatches items of stage i to up to limit concurrent
-// workers and restores output order.
+// runStage dispatches items of stage i to a pool of persistent workers
+// bounded by the stage's replica limit, and restores output order.
+// Workers are spawned lazily up to the limit's high-water mark and
+// live until the stage drains, so steady-state dispatch costs no
+// goroutine spawn and no closure allocation per item.
 func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out chan<- seqItem, wg *sync.WaitGroup, fail func(error)) {
 	defer wg.Done()
 	lim := p.limits[i]
@@ -221,50 +231,55 @@ func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out c
 	fn := p.stages[i].Fn
 	name := p.stages[i].Name
 
-	done := make(chan seqItem, 16)
-	var workers sync.WaitGroup
+	// The completion buffer absorbs a full complement of replicas
+	// finishing at once — sized from the stage's initial replica
+	// limit rather than hard-coded. Channel capacity cannot resize,
+	// so a stage grown far beyond its initial Replicas keeps this
+	// startup capacity; that only adds backpressure, never deadlock.
+	doneCap := 2 * p.stages[i].Replicas
+	if doneCap < 8 {
+		doneCap = 8
+	}
+	done := make(chan seqItem, doneCap)
 
-	// Reorderer: emits done items in sequence order.
+	// Reorderer: emits done items in sequence order. Sequence numbers
+	// are assigned 0,1,2,... at the head and every stage is 1-for-1 and
+	// order-preserving at its boundary, so the ring always starts
+	// expecting 0; anything out of order is held in the ring window
+	// (bounded by the number of in-flight items at this stage).
 	reordered := make(chan struct{})
 	go func() {
 		defer close(reordered)
-		// Sequence numbers are assigned 0,1,2,... at the head and every
-		// stage is 1-for-1 and order-preserving at its boundary, so the
-		// reorderer always starts expecting 0.
-		pending := map[int]any{}
-		next := 0
+		var pending ring.Reorder[any]
 		for it := range done {
-			pending[it.seq] = it.v
+			pending.Put(it.seq, it.v)
 			for {
-				v, ok := pending[next]
+				seq, v, ok := pending.PopNext()
 				if !ok {
 					break
 				}
-				delete(pending, next)
 				select {
-				case out <- seqItem{next, v}:
-					next++
+				case out <- seqItem{seq, v}:
 				case <-ctx.Done():
 					return
 				}
 			}
 		}
-		// Flush any remainder in order (only reachable on clean drain).
-		for {
-			v, ok := pending[next]
-			if !ok {
-				return
-			}
-			delete(pending, next)
-			select {
-			case out <- seqItem{next, v}:
-				next++
-			case <-ctx.Done():
-				return
-			}
-		}
 	}()
 
+	pool := conc.NewPool(lim, doneCap, func(it seqItem) {
+		t0 := time.Now()
+		v, err := fn(ctx, it.v)
+		met.Record(time.Since(t0))
+		if err != nil {
+			fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, it.seq, err))
+			return
+		}
+		select {
+		case done <- seqItem{it.seq, v}:
+		case <-ctx.Done():
+		}
+	})
 	for {
 		var it seqItem
 		var ok bool
@@ -276,25 +291,9 @@ func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out c
 		if !ok {
 			break
 		}
-		lim.acquire()
-		workers.Add(1)
-		go func(it seqItem) {
-			defer workers.Done()
-			defer lim.release()
-			t0 := time.Now()
-			v, err := fn(ctx, it.v)
-			met.record(time.Since(t0))
-			if err != nil {
-				fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, it.seq, err))
-				return
-			}
-			select {
-			case done <- seqItem{it.seq, v}:
-			case <-ctx.Done():
-			}
-		}(it)
+		pool.Submit(it)
 	}
-	workers.Wait()
+	pool.Close()
 	close(done)
 	<-reordered
 	close(out)
@@ -326,70 +325,4 @@ func (p *Pipeline) Process(ctx context.Context, inputs []any) ([]any, error) {
 		return nil, fmt.Errorf("pipeline: %d outputs for %d inputs", len(results), len(inputs))
 	}
 	return results, nil
-}
-
-// meter is a goroutine-safe service-time accumulator.
-type meter struct {
-	mu sync.Mutex
-	o  stats.Online
-}
-
-func (m *meter) record(d time.Duration) {
-	m.mu.Lock()
-	m.o.Add(d.Seconds())
-	m.mu.Unlock()
-}
-
-func (m *meter) snapshot() (count int, mean, max time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	count = m.o.N()
-	if count > 0 {
-		mean = time.Duration(m.o.Mean() * float64(time.Second))
-		max = time.Duration(m.o.Max() * float64(time.Second))
-	}
-	return
-}
-
-// limiter is a resizable concurrency limiter.
-type limiter struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	limit int
-	inUse int
-}
-
-func newLimiter(n int) *limiter {
-	l := &limiter{limit: n}
-	l.cond = sync.NewCond(&l.mu)
-	return l
-}
-
-func (l *limiter) acquire() {
-	l.mu.Lock()
-	for l.inUse >= l.limit {
-		l.cond.Wait()
-	}
-	l.inUse++
-	l.mu.Unlock()
-}
-
-func (l *limiter) release() {
-	l.mu.Lock()
-	l.inUse--
-	l.cond.Broadcast()
-	l.mu.Unlock()
-}
-
-func (l *limiter) setLimit(n int) {
-	l.mu.Lock()
-	l.limit = n
-	l.cond.Broadcast()
-	l.mu.Unlock()
-}
-
-func (l *limiter) getLimit() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.limit
 }
