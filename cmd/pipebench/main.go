@@ -6,8 +6,12 @@
 //
 //	pipebench -list
 //	pipebench -exp F1 [-seed 42] [-csv]
-//	pipebench -all [-seed 42]
+//	pipebench -all [-seed 42] [-workers N]
 //	pipebench -bench [-benchout BENCH_1.json]
+//
+// -all fans the experiments across a bounded worker pool (default one
+// worker per CPU); every experiment seeds its own RNG streams, so the
+// tables are identical to a sequential sweep and print in ID order.
 //
 // Each experiment prints its tables; -csv additionally dumps every
 // figure series as CSV for offline plotting. -bench runs the hot-path
@@ -21,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -40,30 +45,43 @@ func main() {
 		outdir   = flag.String("outdir", "", "write every table and series as CSV files into this directory")
 		benchRun = flag.Bool("bench", false, "run the hot-path micro-benchmark suite")
 		benchOut = flag.String("benchout", "BENCH_1.json", "file the -bench results are written to")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for -all (1 = sequential)")
 	)
 	flag.Parse()
 
 	switch {
 	case *list:
-		for _, e := range bench.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
-		}
+		listExperiments(os.Stdout)
 	case *benchRun:
 		if err := runBench(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench: bench: %v\n", err)
 			os.Exit(1)
 		}
 	case *all:
-		for _, e := range bench.All() {
-			if err := runOne(e, *seed, *csv, *outdir); err != nil {
-				fmt.Fprintf(os.Stderr, "pipebench: %s: %v\n", e.ID, err)
-				os.Exit(1)
+		// Repetitions fan out across the pool; outcomes print in ID
+		// order, byte-identical to a sequential sweep.
+		failed := false
+		for _, out := range bench.RunAll(*seed, *workers) {
+			if out.Err != nil {
+				fmt.Fprintf(os.Stderr, "pipebench: %s: %v\n", out.Experiment.ID, out.Err)
+				failed = true
+				continue
 			}
+			if err := emitOne(out.Result, *csv, *outdir); err != nil {
+				fmt.Fprintf(os.Stderr, "pipebench: %s: %v\n", out.Experiment.ID, err)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
 		}
 	case *exp != "":
 		e, err := bench.ByID(*exp)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			// An unknown ID is most often a typo: show the menu rather
+			// than an opaque failure.
+			fmt.Fprintf(os.Stderr, "pipebench: unknown experiment %q; valid experiment IDs:\n", *exp)
+			listExperiments(os.Stderr)
 			os.Exit(1)
 		}
 		if err := runOne(e, *seed, *csv, *outdir); err != nil {
@@ -73,6 +91,13 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// listExperiments prints the experiment menu, one "ID Title" per line.
+func listExperiments(w io.Writer) {
+	for _, e := range bench.All() {
+		fmt.Fprintf(w, "%-4s %s\n", e.ID, e.Title)
 	}
 }
 
@@ -136,6 +161,11 @@ func runOne(e bench.Experiment, seed uint64, csv bool, outdir string) error {
 	if err != nil {
 		return err
 	}
+	return emitOne(res, csv, outdir)
+}
+
+// emitOne prints (and optionally exports) one experiment result.
+func emitOne(res *bench.Result, csv bool, outdir string) error {
 	fmt.Print(res.String())
 	if csv {
 		for _, s := range res.Series {

@@ -26,6 +26,30 @@
 //	)
 //	out, err := p.Process(ctx, inputs)        // live
 //	rep, err := p.Simulate(grid, opts)        // simulated
+//
+// Pipelines need not be linear: Split fans an item out over parallel
+// branches and Merge joins the branch results back into one item, so
+// diamond-shaped flows run (and simulate, and adapt) like chains do.
+// A Merge stage's function receives a []any holding one part per
+// branch, in branch order:
+//
+//	p, _ := gridpipe.New(
+//	    gridpipe.Stage("decode", decodeFn, gridpipe.Weight(0.05)),
+//	    gridpipe.Split(
+//	        gridpipe.Branch(gridpipe.Stage("audio", audioFn, gridpipe.Weight(0.1))),
+//	        gridpipe.Branch(gridpipe.Stage("video", videoFn, gridpipe.Weight(0.3),
+//	            gridpipe.Replicable(), gridpipe.Replicas(2))),
+//	    ),
+//	    gridpipe.Merge("mux", func(ctx context.Context, v any) (any, error) {
+//	        parts := v.([]any) // [audio result, video result]
+//	        return mux(parts[0], parts[1]), nil
+//	    }, gridpipe.Weight(0.02)),
+//	)
+//
+// Both execution modes route along the same stage graph
+// (internal/topo): live branches run concurrently on goroutines;
+// simulated branches occupy their mapped grid nodes concurrently and
+// the adaptivity engine remaps them like any other stage.
 package gridpipe
 
 import (
@@ -34,13 +58,25 @@ import (
 
 	"gridpipe/internal/model"
 	"gridpipe/internal/pipeline"
+	"gridpipe/internal/topo"
 )
 
 // StageFunc is the computation of one live stage. It must be safe for
-// concurrent invocation when the stage is replicated.
+// concurrent invocation when the stage is replicated. A Merge stage's
+// function receives a []any with one part per branch, in branch order.
 type StageFunc = pipeline.Func
 
-// StageDef describes one stage. Build with Stage.
+// stageKind discriminates the definition forms New accepts.
+type stageKind int
+
+const (
+	kindStage stageKind = iota
+	kindSplit
+	kindMerge
+)
+
+// StageDef describes one stage (or a Split of branches). Build with
+// Stage, Split, or Merge.
 type StageDef struct {
 	name       string
 	fn         StageFunc
@@ -49,7 +85,14 @@ type StageDef struct {
 	replicable bool
 	replicas   int
 	buffer     int
+
+	kind     stageKind
+	branches []BranchDef // kindSplit only
 }
+
+// BranchDef is one parallel branch of a Split: a chain of stages.
+// Build with Branch.
+type BranchDef []StageDef
 
 // StageOpt customises a stage definition.
 type StageOpt func(*StageDef)
@@ -61,7 +104,8 @@ type StageOpt func(*StageDef)
 func Weight(w float64) StageOpt { return func(s *StageDef) { s.weight = w } }
 
 // OutBytes declares the size of the message each output sends to the
-// next stage (simulation only).
+// next stage (simulation only). A Split broadcasts the producing
+// stage's message to every branch.
 func OutBytes(b float64) StageOpt { return func(s *StageDef) { s.outBytes = b } }
 
 // Replicable marks the stage as stateless, allowing the adaptivity
@@ -70,6 +114,7 @@ func OutBytes(b float64) StageOpt { return func(s *StageDef) { s.outBytes = b } 
 func Replicable() StageOpt { return func(s *StageDef) { s.replicable = true } }
 
 // Replicas sets the live mode's initial worker count (default 1).
+// Values above 1 require Replicable.
 func Replicas(n int) StageOpt { return func(s *StageDef) { s.replicas = n } }
 
 // Buffer sets the stage's live input-buffer capacity (default 1).
@@ -85,46 +130,168 @@ func Stage(name string, fn StageFunc, opts ...StageOpt) StageDef {
 	return s
 }
 
-// Pipeline is a pipeline definition runnable live or in simulation.
-type Pipeline struct {
-	defs []StageDef
-	spec model.PipelineSpec
-	live *pipeline.Pipeline // built lazily; single-use
+// Branch groups a chain of stages into one parallel branch of a Split.
+func Branch(stages ...StageDef) BranchDef { return BranchDef(stages) }
+
+// Split fans the preceding stage's output over two or more parallel
+// branches; each branch receives every item. A Split must be followed
+// by a Merge, which joins the branch results back into one item.
+func Split(branches ...BranchDef) StageDef {
+	return StageDef{kind: kindSplit, branches: branches}
 }
 
-// New validates the stage definitions and builds a pipeline.
+// Merge builds the fan-in stage closing a Split. Its function receives
+// a []any holding one part per branch, in branch order, and returns
+// the joined item.
+func Merge(name string, fn StageFunc, opts ...StageOpt) StageDef {
+	s := Stage(name, fn, opts...)
+	s.kind = kindMerge
+	return s
+}
+
+// Pipeline is a pipeline definition runnable live or in simulation.
+type Pipeline struct {
+	defs  []StageDef  // flattened, in topological order
+	graph *topo.Graph // data-flow over the flattened stages
+	spec  model.PipelineSpec
+	live  *pipeline.Pipeline // built lazily; single-use
+}
+
+// New validates the stage definitions and builds a pipeline. Stage
+// names must be unique; Replicas and Buffer must be positive; more
+// than one replica requires Replicable.
 func New(stages ...StageDef) (*Pipeline, error) {
 	if len(stages) == 0 {
 		return nil, fmt.Errorf("gridpipe: no stages")
 	}
-	p := &Pipeline{defs: append([]StageDef(nil), stages...)}
-	for i, s := range p.defs {
+	p := &Pipeline{}
+	names := map[string]bool{}
+	var edges []topo.Edge
+
+	// addStage validates and appends one flattened stage, wiring edges
+	// from the given predecessors, and returns its index.
+	addStage := func(s StageDef, preds []int) (int, error) {
 		if s.name == "" {
-			return nil, fmt.Errorf("gridpipe: stage %d has no name", i)
+			return 0, fmt.Errorf("gridpipe: stage %d has no name", len(p.defs))
 		}
+		if names[s.name] {
+			return 0, fmt.Errorf("gridpipe: duplicate stage name %q", s.name)
+		}
+		names[s.name] = true
 		if s.weight <= 0 {
-			return nil, fmt.Errorf("gridpipe: stage %q has non-positive weight", s.name)
+			return 0, fmt.Errorf("gridpipe: stage %q has non-positive weight %v", s.name, s.weight)
 		}
-		p.spec.Stages = append(p.spec.Stages, model.StageSpec{
+		if s.replicas <= 0 {
+			return 0, fmt.Errorf("gridpipe: stage %q has non-positive replicas %d", s.name, s.replicas)
+		}
+		if s.replicas > 1 && !s.replicable {
+			return 0, fmt.Errorf("gridpipe: stage %q has %d replicas but is not Replicable", s.name, s.replicas)
+		}
+		if s.buffer <= 0 {
+			return 0, fmt.Errorf("gridpipe: stage %q has non-positive buffer %d", s.name, s.buffer)
+		}
+		idx := len(p.defs)
+		p.defs = append(p.defs, s)
+		for _, pr := range preds {
+			edges = append(edges, topo.Edge{From: pr, To: idx, Bytes: p.defs[pr].outBytes})
+		}
+		return idx, nil
+	}
+
+	// frontier holds the stage indices whose out-edges attach to the
+	// next definition; more than one means we are inside a split.
+	var frontier []int
+	for _, def := range stages {
+		switch def.kind {
+		case kindSplit:
+			if len(p.defs) == 0 {
+				return nil, fmt.Errorf("gridpipe: pipeline cannot start with a Split")
+			}
+			if len(frontier) != 1 {
+				return nil, fmt.Errorf("gridpipe: nested Split (close the previous one with Merge first)")
+			}
+			if len(def.branches) < 2 {
+				return nil, fmt.Errorf("gridpipe: Split needs at least 2 branches, got %d", len(def.branches))
+			}
+			head := frontier[0]
+			frontier = frontier[:0]
+			for bi, br := range def.branches {
+				if len(br) == 0 {
+					return nil, fmt.Errorf("gridpipe: Split branch %d is empty", bi)
+				}
+				prev := head
+				for _, bs := range br {
+					if bs.kind != kindStage {
+						return nil, fmt.Errorf("gridpipe: branch %d contains a nested Split/Merge", bi)
+					}
+					idx, err := addStage(bs, []int{prev})
+					if err != nil {
+						return nil, err
+					}
+					prev = idx
+				}
+				frontier = append(frontier, prev)
+			}
+		case kindMerge:
+			if len(frontier) < 2 {
+				return nil, fmt.Errorf("gridpipe: Merge %q without a preceding Split", def.name)
+			}
+			idx, err := addStage(def, frontier)
+			if err != nil {
+				return nil, err
+			}
+			frontier = []int{idx}
+		default:
+			if len(frontier) > 1 {
+				return nil, fmt.Errorf("gridpipe: stage %q follows a Split; close it with Merge", def.name)
+			}
+			idx, err := addStage(def, frontier)
+			if err != nil {
+				return nil, err
+			}
+			frontier = []int{idx}
+		}
+	}
+	if len(frontier) != 1 {
+		return nil, fmt.Errorf("gridpipe: pipeline ends inside a Split; add a Merge")
+	}
+
+	tstages := make([]topo.Stage, len(p.defs))
+	for i, s := range p.defs {
+		tstages[i] = topo.Stage{
 			Name:       s.name,
 			Work:       s.weight,
 			OutBytes:   s.outBytes,
 			Replicable: s.replicable,
-		})
+		}
 	}
+	g, err := topo.New(tstages, edges)
+	if err != nil {
+		return nil, fmt.Errorf("gridpipe: %w", err)
+	}
+	p.graph = g
+	spec, err := model.FromGraph(g, 0)
+	if err != nil {
+		return nil, fmt.Errorf("gridpipe: %w", err)
+	}
+	p.spec = spec
 	return p, nil
 }
 
-// NumStages returns the stage count.
+// NumStages returns the stage count (flattened: branch stages count
+// individually, in declaration order).
 func (p *Pipeline) NumStages() int { return len(p.defs) }
+
+// Graph returns the pipeline's stage graph.
+func (p *Pipeline) Graph() *topo.Graph { return p.graph }
 
 // buildLive constructs the single-use live pipeline.
 func (p *Pipeline) buildLive() (*pipeline.Pipeline, error) {
 	if p.live != nil {
 		return nil, fmt.Errorf("gridpipe: live pipeline already running (single-use)")
 	}
-	var stages []pipeline.Stage
-	for _, s := range p.defs {
+	stages := make([]pipeline.Stage, len(p.defs))
+	for i, s := range p.defs {
 		if s.fn == nil {
 			return nil, fmt.Errorf("gridpipe: stage %q has no function (simulation-only pipeline?)", s.name)
 		}
@@ -132,11 +299,11 @@ func (p *Pipeline) buildLive() (*pipeline.Pipeline, error) {
 		if !s.replicable {
 			reps = 1
 		}
-		stages = append(stages, pipeline.Stage{
+		stages[i] = pipeline.Stage{
 			Name: s.name, Fn: s.fn, Replicas: reps, Buffer: s.buffer,
-		})
+		}
 	}
-	lp, err := pipeline.New(stages...)
+	lp, err := pipeline.NewGraph(stages, p.graph.Edges)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +332,8 @@ func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-ch
 	return out, errs, nil
 }
 
-// SetReplicas adjusts a running live stage's worker limit.
+// SetReplicas adjusts a running live stage's worker limit. Stages are
+// indexed in flattened declaration order (see Spec).
 func (p *Pipeline) SetReplicas(stage, n int) error {
 	if p.live == nil {
 		return fmt.Errorf("gridpipe: pipeline not running live")

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"gridpipe/internal/stats"
 )
@@ -78,4 +79,53 @@ func ByID(id string) (Experiment, error) {
 		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
 	}
 	return e, nil
+}
+
+// RunOutcome is one experiment's result (or failure) from RunAll.
+type RunOutcome struct {
+	Experiment Experiment
+	Result     *Result
+	Err        error
+}
+
+// RunAll executes every registered experiment at the given seed,
+// fanning the runs across a bounded pool of workers goroutines
+// (workers <= 1 runs sequentially). Outcomes return in ID order.
+//
+// Parallelism cannot perturb the tables: every experiment derives all
+// of its randomness deterministically from the seed argument alone
+// (per-run rng.New streams, per-(stage,seq) derived samplers), and the
+// shared engine pool hands out Reset engines, so each outcome is
+// byte-identical to what a sequential sweep produces.
+func RunAll(seed uint64, workers int) []RunOutcome {
+	exps := All()
+	out := make([]RunOutcome, len(exps))
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers <= 1 {
+		for i, e := range exps {
+			res, err := e.Run(seed)
+			out[i] = RunOutcome{Experiment: e, Result: res, Err: err}
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := exps[i].Run(seed)
+				out[i] = RunOutcome{Experiment: exps[i], Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range exps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
 }

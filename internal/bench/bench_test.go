@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"A1", "A2", "A3", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "T1", "T2", "T3", "T4", "T5"}
+	want := []string{"A1", "A2", "A3", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "T1", "T2", "T3", "T4", "T5"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -87,6 +87,40 @@ func TestF1Shape(t *testing.T) {
 	}
 	if remaps := cell(t, tb, 0, 4); remaps != 0 {
 		t.Error("static remapped")
+	}
+}
+
+func TestF8Shape(t *testing.T) {
+	res := runExp(t, "F8")
+	tb := res.Tables[0]
+	if tb.NumRows() != 4 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	// Rows: linear-static, linear-reactive, diamond-static,
+	// diamond-reactive. Columns: topology, policy, done, before,
+	// after, fill latency, remaps, migrated.
+	linStatic, linReact, diaStatic, diaReact := 0, 1, 2, 3
+	// Equal pre-spike throughput across topologies (equal total work).
+	lb, db := cell(t, tb, linStatic, 3), cell(t, tb, diaStatic, 3)
+	if lb <= 0 || db <= 0 || db < lb*0.9 || db > lb*1.1 {
+		t.Errorf("pre-spike throughput: linear %v vs diamond %v, want equal", lb, db)
+	}
+	// The diamond's branches overlap: lower fill latency.
+	if lf, df := cell(t, tb, linStatic, 5), cell(t, tb, diaStatic, 5); df >= lf {
+		t.Errorf("fill latency: diamond %v not below linear %v", df, lf)
+	}
+	// The adaptive controller remaps the DAG and recovers the spike.
+	for _, r := range []int{linReact, diaReact} {
+		if remaps := cell(t, tb, r, 6); remaps < 1 {
+			t.Errorf("row %d: reactive never remapped", r)
+		}
+		staticAfter := cell(t, tb, r-1, 4)
+		if after := cell(t, tb, r, 4); after <= staticAfter*1.5 {
+			t.Errorf("row %d: after-spike %v not clearly above static %v", r, after, staticAfter)
+		}
 	}
 }
 

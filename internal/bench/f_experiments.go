@@ -8,6 +8,7 @@ import (
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
 	"gridpipe/internal/stats"
+	"gridpipe/internal/topo"
 	"gridpipe/internal/trace"
 	"gridpipe/internal/workload"
 )
@@ -19,6 +20,7 @@ func init() {
 	register(Experiment{ID: "F4", Title: "Throughput vs replica count for the bottleneck stage", Run: runF4})
 	register(Experiment{ID: "F5", Title: "Adaptation benefit vs node heterogeneity", Run: runF5})
 	register(Experiment{ID: "F6", Title: "Throughput and efficiency vs stage count", Run: runF6})
+	register(Experiment{ID: "F8", Title: "Diamond DAG vs linear chain: throughput, latency, adaptation", Run: runF8})
 }
 
 // F1: image pipeline on 6 nodes; the node hosting the bottleneck stage
@@ -313,6 +315,100 @@ func runF5(seed uint64) (*Result, error) {
 	tb.AddNote("expected shape: benefit grows with heterogeneity (a blind placement wastes the fast nodes)")
 	res.Tables = []*stats.Table{tb}
 	res.Series = []*stats.Series{series}
+	return res, nil
+}
+
+// f8Apps builds the two equal-total-work contestants: a diamond
+// (head → {left, right} → tail, the branches running concurrently)
+// and a linear chain over the same four stages. Total per-item work is
+// 0.6 reference-seconds in both; only the topology differs.
+func f8Apps() (diamond, linear workload.App, err error) {
+	stages := []topo.Stage{
+		{Name: "head", Work: 0.05, OutBytes: 1e5, Replicable: true},
+		{Name: "left", Work: 0.25, OutBytes: 1e5, Replicable: true},
+		{Name: "right", Work: 0.25, OutBytes: 1e5, Replicable: true},
+		{Name: "tail", Work: 0.05, OutBytes: 1e4, Replicable: true},
+	}
+	dg, err := topo.Diamond(stages[0], []topo.Stage{stages[1], stages[2]}, stages[3])
+	if err != nil {
+		return workload.App{}, workload.App{}, err
+	}
+	dspec, err := model.FromGraph(dg, 1e5)
+	if err != nil {
+		return workload.App{}, workload.App{}, err
+	}
+	lspec, err := model.FromGraph(topo.Chain(stages...), 1e5)
+	if err != nil {
+		return workload.App{}, workload.App{}, err
+	}
+	diamond = workload.App{Name: "diamond", Spec: dspec, CV: 0.2}
+	linear = workload.App{Name: "linear", Spec: lspec, CV: 0.2}
+	return diamond, linear, nil
+}
+
+// F8: topology shoot-out. The diamond and the equal-work chain run on
+// the same 6-node grid; at t=60 an 85% load step hits the node hosting
+// a heavy branch/middle stage. Static and reactive policies run for
+// both topologies: the diamond's concurrent branches cut the empty-
+// pipeline fill latency, and the adaptive controller remaps the DAG
+// exactly as it remaps the chain.
+func runF8(seed uint64) (*Result, error) {
+	const (
+		horizon = 180.0
+		spikeAt = 60.0
+		level   = 0.85
+		window  = 5.0
+	)
+	diamond, linear, err := f8Apps()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{ID: "F8", Title: "diamond DAG vs linear chain"}
+	tb := stats.NewTable("F8 diamond vs chain (equal total work, spike ×85% at t=60)",
+		"topology", "policy", "items done", "thr before", "thr after", "fill latency", "remaps", "migrated")
+
+	for _, app := range []workload.App{linear, diamond} {
+		// Deployment-time mapping on an idle copy of the grid; the
+		// spike then aims at the node hosting the first heavy stage
+		// (index 1 in both topologies).
+		idle, err := spikeGrid(6, -1, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		m0, err := initialMapping(idle, app, seed)
+		if err != nil {
+			return nil, err
+		}
+		victim := int(m0.Assign[1][0])
+		for _, p := range []adaptive.Policy{adaptive.PolicyStatic, adaptive.PolicyReactive} {
+			g, err := spikeGrid(6, victim, spikeAt, level)
+			if err != nil {
+				return nil, err
+			}
+			out, err := run(runConfig{
+				Grid: g, App: app, Initial: m0, Policy: p,
+				Interval: 1, Seed: seed, Duration: horizon,
+			})
+			if err != nil {
+				return nil, err
+			}
+			series := stats.WindowRate(out.Exec.Monitor().Completions(), 0, horizon, window)
+			series.Name = app.Name + "-" + p.String()
+			res.Series = append(res.Series, series)
+			before := meanRateIn(out.Exec.Monitor().Completions(), window, spikeAt)
+			after := meanRateIn(out.Exec.Monitor().Completions(), spikeAt+2*window, horizon)
+			lats := out.Exec.Latencies()
+			fill := math.NaN()
+			if len(lats) > 0 {
+				fill = stats.Mean(lats[:min(10, len(lats))])
+			}
+			tb.AddRowf(app.Name, p.String(), out.Done, before, after, fill,
+				out.Ctrl.Remaps, out.Exec.Migrations())
+		}
+	}
+	tb.AddNote("expected shape: equal throughput before the spike, diamond fill latency below the chain's (branches overlap), reactive recovers both topologies")
+	res.Tables = []*stats.Table{tb}
 	return res, nil
 }
 

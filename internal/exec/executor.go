@@ -17,6 +17,15 @@
 //     saturated source for latency studies.
 //   - Replicated stages deal items round-robin across replicas.
 //
+// Routing follows the spec's stage graph (internal/topo): a completed
+// stage emits one part per out-edge (each paying its own transfer), a
+// fan-in stage joins one part per in-edge before starting service, and
+// all parts of one item converge on the same replica of a fan-in stage
+// so the join is local. Linear pipelines take the Linearize fast path —
+// the successor list of stage i is exactly {i+1} — and reproduce the
+// pre-graph executor's event sequence bit for bit (pinned by
+// golden_test.go).
+//
 // Reconfiguration (Remap) supports two protocols measured in
 // experiment A2: drain-safe (queued items migrate with a paid transfer,
 // in-service items finish where they run — nothing is lost) and
@@ -32,6 +41,7 @@ import (
 	"gridpipe/internal/model"
 	"gridpipe/internal/monitor"
 	"gridpipe/internal/sim"
+	"gridpipe/internal/topo"
 )
 
 // Options tune an Executor.
@@ -91,21 +101,41 @@ type RemapStats struct {
 
 // item is one unit flowing through the pipeline. Items are pooled on
 // the executor: admitted from the free list, recycled at completion.
+// On a stage graph with splits an item is in several places at once;
+// its location lives in the tasks/transfers referencing it (each of
+// which carries an explicit stage), not on the item itself.
 type item struct {
 	seq     int
-	stage   int       // current stage index
 	work    []float64 // sampled service demand per stage (lazily filled)
 	started float64   // admission time
+	// pending[s] counts the in-edge parts still to arrive before
+	// fan-in stage s may start service; dest[s] is the replica all of
+	// the item's parts converge on (-1 until first routed); joined[s]
+	// is the payload already accumulated there (what a relocation must
+	// move if a remap invalidates the replica mid-join). All three are
+	// allocated only when the graph has fan-in stages — linear
+	// pipelines never touch them.
+	pending []int32
+	dest    []grid.NodeID
+	joined  []float64
 }
 
 // task is an item waiting for or receiving service at a stage replica.
 // Tasks are pooled alongside items.
 type task struct {
 	it         *item
+	stage      int // the stage this task serves
 	node       grid.NodeID
 	completion sim.Event // pending while in service
 	serviceT0  float64
 	svcIdx     int32 // position in the node's in-service slice
+}
+
+// edgeHop is one precomputed routing entry: successor stage and the
+// per-item payload the connecting edge carries.
+type edgeHop struct {
+	to    int
+	bytes float64
 }
 
 // Executor simulates one pipeline run.
@@ -115,6 +145,18 @@ type Executor struct {
 	spec    model.PipelineSpec
 	mapping model.Mapping
 	opts    Options
+
+	// Routing tables derived from the spec's stage graph. succ[s]
+	// lists stage s's out-edges; indeg[s] is the fan-in width;
+	// inbytes[s] is the total inbound payload of a joined item
+	// (charged on migrations/redirects); exit is the unique exit
+	// stage; hasMerge is false on the linear fast path.
+	graph    *topo.Graph
+	succ     [][]edgeHop
+	indeg    []int32
+	inbytes  []float64
+	exit     int
+	hasMerge bool
 
 	mon   *monitor.Monitor
 	nodes []*nodeServer
@@ -161,6 +203,23 @@ func New(eng *sim.Engine, g *grid.Grid, spec model.PipelineSpec, m model.Mapping
 		mon:     monitor.New(spec.NumStages(), opts.MonitorWindow),
 		links:   map[linkKey]*linkServer{},
 		rr:      make([]int, spec.NumStages()),
+	}
+	e.graph = spec.Graph()
+	ns := spec.NumStages()
+	e.exit = e.graph.Exit()
+	e.succ = make([][]edgeHop, ns)
+	e.indeg = make([]int32, ns)
+	e.inbytes = make([]float64, ns)
+	for i := 0; i < ns; i++ {
+		for _, ei := range e.graph.OutEdges(i) {
+			ed := e.graph.Edges[ei]
+			e.succ[i] = append(e.succ[i], edgeHop{to: ed.To, bytes: ed.Bytes})
+		}
+		e.indeg[i] = int32(e.graph.InDegree(i))
+		e.inbytes[i] = e.graph.InBytesOf(i, spec.InBytes)
+		if e.indeg[i] > 1 {
+			e.hasMerge = true
+		}
 	}
 	e.nodes = make([]*nodeServer, g.NumNodes())
 	for i := range e.nodes {
@@ -238,15 +297,22 @@ func (e *Executor) scheduleNextArrival() {
 func (e *Executor) admit() {
 	it := e.getItem()
 	it.seq = e.admitted
-	it.stage = 0
 	it.started = e.eng.Now()
 	for i := range it.work {
 		it.work[i] = math.NaN() // sampled lazily at first service
 	}
+	if e.hasMerge {
+		for i := range it.pending {
+			it.pending[i] = e.indeg[i]
+			it.dest[i] = -1
+			it.joined[i] = 0
+		}
+	}
 	e.admitted++
 	e.inFlight++
-	dest := e.pickReplica(0)
-	e.transfer(it, e.spec.Source, dest, e.spec.InBytes)
+	entry := e.graph.Entry()
+	dest := e.pickReplica(entry)
+	e.transfer(it, entry, e.spec.Source, dest, e.spec.InBytes)
 }
 
 // getItem takes an item from the pool, with its work slice sized for
@@ -257,22 +323,29 @@ func (e *Executor) getItem() *item {
 		e.itemFree = e.itemFree[:n-1]
 		return it
 	}
-	return &item{work: make([]float64, e.spec.NumStages())}
+	it := &item{work: make([]float64, e.spec.NumStages())}
+	if e.hasMerge {
+		it.pending = make([]int32, e.spec.NumStages())
+		it.dest = make([]grid.NodeID, e.spec.NumStages())
+		it.joined = make([]float64, e.spec.NumStages())
+	}
+	return it
 }
 
 func (e *Executor) putItem(it *item) {
 	e.itemFree = append(e.itemFree, it)
 }
 
-// getTask takes a task from the pool, bound to an item and node.
-func (e *Executor) getTask(it *item, node grid.NodeID) *task {
+// getTask takes a task from the pool, bound to an item, stage and
+// node.
+func (e *Executor) getTask(it *item, stage int, node grid.NodeID) *task {
 	if n := len(e.taskFree); n > 0 {
 		t := e.taskFree[n-1]
 		e.taskFree = e.taskFree[:n-1]
-		t.it, t.node = it, node
+		t.it, t.stage, t.node = it, stage, node
 		return t
 	}
-	return &task{it: it, node: node}
+	return &task{it: it, stage: stage, node: node}
 }
 
 func (e *Executor) putTask(t *task) {
@@ -282,14 +355,14 @@ func (e *Executor) putTask(t *task) {
 }
 
 // getTransfer takes a link transfer from the pool.
-func (e *Executor) getTransfer(it *item, bytes float64) *transfer {
+func (e *Executor) getTransfer(it *item, stage int, bytes float64) *transfer {
 	if n := len(e.txFree); n > 0 {
 		tx := e.txFree[n-1]
 		e.txFree = e.txFree[:n-1]
-		tx.it, tx.bytes, tx.serial = it, bytes, 0
+		tx.it, tx.stage, tx.bytes, tx.serial = it, stage, bytes, 0
 		return tx
 	}
-	return &transfer{it: it, bytes: bytes}
+	return &transfer{it: it, stage: stage, bytes: bytes}
 }
 
 func (e *Executor) putTransfer(tx *transfer) {
@@ -305,14 +378,56 @@ func (e *Executor) pickReplica(stage int) grid.NodeID {
 	return n
 }
 
-// transfer moves an item (or its result) from node a towards node b,
-// then delivers it. Intra-node movement is effectively free.
-func (e *Executor) transfer(it *item, a, b grid.NodeID, bytes float64) {
+// replicaFor picks the destination replica for routing one of it's
+// parts into stage. Fan-in stages get a sticky choice — every part of
+// one item must converge on the same replica so the join is local —
+// advancing the round-robin dealer once per item, not once per part.
+func (e *Executor) replicaFor(it *item, stage int) grid.NodeID {
+	if !e.hasMerge || e.indeg[stage] <= 1 {
+		return e.pickReplica(stage)
+	}
+	if it.dest[stage] < 0 {
+		it.dest[stage] = e.pickReplica(stage)
+	}
+	return it.dest[stage]
+}
+
+// redirectDest picks where to send a part whose stage is no longer
+// mapped to the node it reached (the mapping changed in flight). For
+// fan-in stages the sticky choice is reused while it still points at a
+// live replica, so parts separated by a remap still converge; when the
+// sticky replica went stale, any parts already joined there relocate
+// to the new replica as one consolidated part — a real transfer the
+// join waits for, counted as a migration.
+func (e *Executor) redirectDest(it *item, stage int) grid.NodeID {
+	if e.hasMerge && e.indeg[stage] > 1 {
+		old := it.dest[stage]
+		if old >= 0 && onNode(e.mapping.Assign[stage], old) {
+			return old
+		}
+		d := e.pickReplica(stage)
+		it.dest[stage] = d
+		if old >= 0 && old != d && it.pending[stage] > 0 && it.pending[stage] < e.indeg[stage] {
+			moved := it.joined[stage]
+			it.joined[stage] = 0
+			it.pending[stage]++ // the join must wait for the relocation
+			e.migrations++
+			e.transfer(it, stage, old, d, moved)
+		}
+		return d
+	}
+	return e.pickReplica(stage)
+}
+
+// transfer moves one part of an item bound for the given stage (or the
+// sink, stage == NumStages) from node a towards node b, then delivers
+// it. Intra-node movement is effectively free.
+func (e *Executor) transfer(it *item, stage int, a, b grid.NodeID, bytes float64) {
 	if a == b {
-		e.deliver(it, b, 0)
+		e.deliver(it, stage, b, bytes, 0)
 		return
 	}
-	e.link(a, b).enqueue(it, bytes)
+	e.link(a, b).enqueue(it, stage, bytes)
 }
 
 func (e *Executor) link(a, b grid.NodeID) *linkServer {
@@ -325,64 +440,74 @@ func (e *Executor) link(a, b grid.NodeID) *linkServer {
 	return ls
 }
 
-// deliver hands an item to a node. If the item's current stage is no
-// longer mapped there (the mapping changed while it was in flight), it
-// is forwarded to a live replica — an extra hop, exactly what a real
-// redirect costs.
-func (e *Executor) deliver(it *item, n grid.NodeID, transferDur float64) {
-	if it.stage >= e.spec.NumStages() {
+// deliver hands one part (carrying bytes of payload) bound for the
+// given stage to a node. If the stage is no longer mapped there (the
+// mapping changed while the part was in flight), the part is forwarded
+// to a live replica — an extra hop of the same payload, exactly what a
+// real redirect costs. At a fan-in stage the part joins the item's
+// tally and service starts only when the last part has arrived.
+func (e *Executor) deliver(it *item, stage int, n grid.NodeID, bytes, transferDur float64) {
+	if stage >= e.spec.NumStages() {
 		// Arrived at the sink: the item is done.
 		e.complete(it)
 		return
 	}
 	if transferDur > 0 {
-		e.mon.Stage(it.stage).RecordTransfer(transferDur)
+		e.mon.Stage(stage).RecordTransfer(transferDur)
 	}
-	if !onNode(e.mapping.Assign[it.stage], n) {
-		dest := e.pickReplica(it.stage)
-		e.transfer(it, n, dest, e.bytesInto(it.stage))
+	if !onNode(e.mapping.Assign[stage], n) {
+		dest := e.redirectDest(it, stage)
+		e.transfer(it, stage, n, dest, bytes)
 		return
 	}
-	e.nodes[n].enqueue(it)
+	if e.hasMerge && e.indeg[stage] > 1 {
+		it.joined[stage] += bytes
+		it.pending[stage]--
+		if it.pending[stage] > 0 {
+			return // waiting for the item's remaining parts
+		}
+	}
+	e.nodes[n].enqueue(it, stage)
 }
 
-// bytesInto returns the message size entering the given stage.
+// bytesInto returns the total message size entering the given stage:
+// the source payload for the entry, otherwise the sum over in-edges (a
+// fan-in stage's migrations move the whole joined item).
 func (e *Executor) bytesInto(stage int) float64 {
-	if stage == 0 {
-		return e.spec.InBytes
-	}
-	return e.spec.Stages[stage-1].OutBytes
+	return e.inbytes[stage]
 }
 
 // serviceWork returns (sampling if needed) the service demand of an
-// item at its current stage.
-func (e *Executor) serviceWork(it *item) float64 {
-	w := it.work[it.stage]
+// item at the given stage.
+func (e *Executor) serviceWork(it *item, stage int) float64 {
+	w := it.work[stage]
 	if math.IsNaN(w) {
 		if e.opts.WorkSampler != nil {
-			w = e.opts.WorkSampler(it.stage, it.seq)
+			w = e.opts.WorkSampler(stage, it.seq)
 			if w < 0 || math.IsNaN(w) {
 				panic(fmt.Sprintf("exec: work sampler returned %v", w))
 			}
 		} else {
-			w = e.spec.Stages[it.stage].Work
+			w = e.spec.Stages[stage].Work
 		}
-		it.work[it.stage] = w
+		it.work[stage] = w
 	}
 	return w
 }
 
-// stageFinished is called when a node completes service for an item.
-func (e *Executor) stageFinished(it *item, n grid.NodeID, serviceDur float64) {
-	e.mon.Stage(it.stage).RecordService(serviceDur, e.eng.Now())
-	out := e.spec.Stages[it.stage].OutBytes
-	it.stage++
-	if it.stage >= e.spec.NumStages() {
-		e.transfer(it, n, e.spec.Sink, out)
+// stageFinished is called when a node completes service for an item at
+// a stage: the exit stage ships its result to the sink, every other
+// stage emits one part per out-edge, each paying that edge's transfer.
+func (e *Executor) stageFinished(it *item, stage int, n grid.NodeID, serviceDur float64) {
+	e.mon.Stage(stage).RecordService(serviceDur, e.eng.Now())
+	if stage == e.exit {
+		e.transfer(it, e.spec.NumStages(), n, e.spec.Sink, e.spec.Stages[stage].OutBytes)
 		return
 	}
-	dest := e.pickReplica(it.stage)
-	e.transfer(it, n, dest, out)
+	for _, hop := range e.succ[stage] {
+		dest := e.replicaFor(it, hop.to)
+		e.transfer(it, hop.to, n, dest, hop.bytes)
+	}
 }
 
 func (e *Executor) complete(it *item) {

@@ -25,6 +25,10 @@ func (e *Executor) Remap(nm model.Mapping, protocol RemapProtocol) (RemapStats, 
 		return st, nil
 	}
 	st.Changed = true
+	// Moved is reported as the migration delta so that fan-in part
+	// relocations (redirectDest consolidating a half-joined item onto
+	// a live replica) are counted alongside queued-task migrations.
+	mig0 := e.migrations
 
 	changed := make([]bool, e.spec.NumStages())
 	for i := range e.mapping.Assign {
@@ -42,16 +46,19 @@ func (e *Executor) Remap(nm model.Mapping, protocol RemapProtocol) (RemapStats, 
 
 	for _, ns := range e.nodes {
 		nodeID := ns.node.ID
-		removed := ns.removeQueued(func(it *item) bool {
-			return changed[it.stage] && !onNode(e.mapping.Assign[it.stage], nodeID)
+		removed := ns.removeQueued(func(t *task) bool {
+			return changed[t.stage] && !onNode(e.mapping.Assign[t.stage], nodeID)
 		})
 		for _, t := range removed {
-			st.Moved++
 			e.migrations++
-			it := t.it
+			it, stage := t.it, t.stage
 			e.putTask(t)
-			dest := e.pickReplica(it.stage)
-			e.transfer(it, nodeID, dest, e.bytesInto(it.stage))
+			// A queued item is fully joined, so the migration pays the
+			// stage's whole inbound payload. redirectDest keeps the
+			// parts of any not-yet-joined sibling converging on the
+			// same (live) replica.
+			dest := e.redirectDest(it, stage)
+			e.transfer(it, stage, nodeID, dest, e.bytesInto(stage))
 		}
 
 		if protocol == KillRestart {
@@ -61,22 +68,23 @@ func (e *Executor) Remap(nm model.Mapping, protocol RemapProtocol) (RemapStats, 
 			// runs, unlike the seed's map iteration.
 			var victims []*task
 			for _, t := range ns.inService {
-				if changed[t.it.stage] && !onNode(e.mapping.Assign[t.it.stage], nodeID) {
+				if changed[t.stage] && !onNode(e.mapping.Assign[t.stage], nodeID) {
 					victims = append(victims, t)
 				}
 			}
 			for _, t := range victims {
-				it := t.it
+				it, stage := t.it, t.stage
 				ns.abort(t)
 				e.putTask(t)
 				st.Killed++
-				st.RedoneWork += it.work[it.stage]
-				e.redone += it.work[it.stage]
-				dest := e.pickReplica(it.stage)
-				e.transfer(it, nodeID, dest, e.bytesInto(it.stage))
+				st.RedoneWork += it.work[stage]
+				e.redone += it.work[stage]
+				dest := e.redirectDest(it, stage)
+				e.transfer(it, stage, nodeID, dest, e.bytesInto(stage))
 			}
 		}
 	}
+	st.Moved = e.migrations - mig0
 	return st, nil
 }
 

@@ -36,9 +36,9 @@ func newNodeServer(e *Executor, n *grid.Node) *nodeServer {
 	return s
 }
 
-// enqueue adds an item for service at its current stage.
-func (s *nodeServer) enqueue(it *item) {
-	t := s.e.getTask(it, s.node.ID)
+// enqueue adds an item for service at the given stage.
+func (s *nodeServer) enqueue(it *item, stage int) {
+	t := s.e.getTask(it, stage, s.node.ID)
 	s.queue.Push(t)
 	s.dispatch()
 }
@@ -60,7 +60,7 @@ func (s *nodeServer) start(t *task) {
 	s.inService = append(s.inService, t)
 	now := s.e.eng.Now()
 	t.serviceT0 = now
-	work := s.e.serviceWork(t.it)
+	work := s.e.serviceWork(t.it, t.stage)
 	dur := s.node.ServiceDuration(work, now)
 	t.completion = s.e.eng.ScheduleArg(dur, s.finishFn, t)
 }
@@ -79,11 +79,11 @@ func (s *nodeServer) finish(t *task) {
 	s.unservice(t)
 	s.busy--
 	now := s.e.eng.Now()
-	it, dur := t.it, now-t.serviceT0
+	it, stage, dur := t.it, t.stage, now-t.serviceT0
 	// Recycle before routing: the transfer/delivery below may enqueue
 	// the item's next stage and reuse this very task.
 	s.e.putTask(t)
-	s.e.stageFinished(it, s.node.ID, dur)
+	s.e.stageFinished(it, stage, s.node.ID, dur)
 	s.dispatch()
 }
 
@@ -97,11 +97,10 @@ func (s *nodeServer) abort(t *task) {
 	s.dispatch()
 }
 
-// removeQueued extracts every queued task whose item's current stage
-// satisfies the predicate, without disturbing relative order of the
-// rest.
-func (s *nodeServer) removeQueued(pred func(*item) bool) []*task {
-	return s.queue.RemoveIf(func(t *task) bool { return pred(t.it) })
+// removeQueued extracts every queued task satisfying the predicate,
+// without disturbing relative order of the rest.
+func (s *nodeServer) removeQueued(pred func(*task) bool) []*task {
+	return s.queue.RemoveIf(pred)
 }
 
 // linkServer serialises transfers over one directed link: the
@@ -122,10 +121,12 @@ type linkServer struct {
 	deliverFn  func(any)
 }
 
-// transfer is one pooled item movement over a link: queued with its
-// size, then in flight carrying its serialisation time.
+// transfer is one pooled part movement over a link: queued with its
+// destination stage and size, then in flight carrying its
+// serialisation time.
 type transfer struct {
 	it     *item
+	stage  int // destination stage (NumStages = the sink)
 	bytes  float64
 	serial float64
 }
@@ -137,8 +138,8 @@ func newLinkServer(e *Executor, l grid.Link, dest grid.NodeID) *linkServer {
 	return s
 }
 
-func (s *linkServer) enqueue(it *item, bytes float64) {
-	s.queue.Push(s.e.getTransfer(it, bytes))
+func (s *linkServer) enqueue(it *item, stage int, bytes float64) {
+	s.queue.Push(s.e.getTransfer(it, stage, bytes))
 	s.pump()
 }
 
@@ -170,9 +171,9 @@ func (s *linkServer) wireFree(tx *transfer) {
 }
 
 func (s *linkServer) deliverTx(tx *transfer) {
-	it, total := tx.it, tx.serial+s.link.Latency
+	it, stage, bytes, total := tx.it, tx.stage, tx.bytes, tx.serial+s.link.Latency
 	s.e.putTransfer(tx)
-	s.e.deliver(it, s.dest, total)
+	s.e.deliver(it, stage, s.dest, bytes, total)
 }
 
 // poissonSource generates exponential inter-arrival gaps.

@@ -11,7 +11,10 @@
 //
 // Like the pipeline, the unordered hot path runs persistent workers
 // (no goroutine per task) and records service times in an atomic
-// meter (no mutex per task).
+// meter (no mutex per task). Ordered mode delegates to a one-stage
+// pipeline — the degenerate chain of the stage-graph runtime
+// (internal/topo), so a farm is literally a single graph node wired
+// source→stage→sink.
 package farm
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gridpipe/internal/grid"
+	"gridpipe/internal/topo"
 )
 
 // StageSpec describes one pipeline stage for modelling purposes.
@@ -23,6 +24,12 @@ type StageSpec struct {
 
 // PipelineSpec describes a whole pipeline for modelling: the stages
 // plus where inputs originate and outputs must be delivered.
+//
+// By default the stages form a linear chain (stage i feeds stage
+// i+1). Setting Topo generalises the data flow to a validated stage
+// DAG (fan-out splits, fan-in merges — see internal/topo); Stages must
+// then mirror the graph's node list one-for-one, which FromGraph
+// guarantees.
 type PipelineSpec struct {
 	Stages []StageSpec
 	// InBytes is the size of each raw input entering stage 1 from the
@@ -31,6 +38,49 @@ type PipelineSpec struct {
 	// Source and Sink are the nodes holding the input and collecting
 	// the output (the "user" endpoints of the era's models).
 	Source, Sink grid.NodeID
+	// Topo, when non-nil, is the stage graph the data flows along. Nil
+	// means the historical linear chain over Stages.
+	Topo *topo.Graph
+}
+
+// FromGraph builds a spec whose Stages mirror the graph's nodes and
+// whose data flow follows the graph's edges.
+func FromGraph(g *topo.Graph, inBytes float64) (PipelineSpec, error) {
+	if g == nil {
+		return PipelineSpec{}, fmt.Errorf("model: FromGraph with nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return PipelineSpec{}, err
+	}
+	spec := PipelineSpec{InBytes: inBytes, Topo: g}
+	for _, st := range g.Stages {
+		spec.Stages = append(spec.Stages, StageSpec{
+			Name:       st.Name,
+			Work:       st.Work,
+			OutBytes:   st.OutBytes,
+			Replicable: st.Replicable,
+		})
+	}
+	return spec, nil
+}
+
+// Graph returns the spec's stage graph: Topo when set, otherwise the
+// linear chain over Stages (freshly built; the chain case allocates
+// but involves no validation surprises).
+func (p PipelineSpec) Graph() *topo.Graph {
+	if p.Topo != nil {
+		return p.Topo
+	}
+	stages := make([]topo.Stage, len(p.Stages))
+	for i, st := range p.Stages {
+		stages[i] = topo.Stage{
+			Name:       st.Name,
+			Work:       st.Work,
+			OutBytes:   st.OutBytes,
+			Replicable: st.Replicable,
+		}
+	}
+	return topo.Chain(stages...)
 }
 
 // NumStages returns the number of stages.
@@ -60,6 +110,15 @@ func (p PipelineSpec) Validate() error {
 	}
 	if p.InBytes < 0 {
 		return fmt.Errorf("model: negative input size %v", p.InBytes)
+	}
+	if p.Topo != nil {
+		if err := p.Topo.Validate(); err != nil {
+			return err
+		}
+		if p.Topo.NumStages() != len(p.Stages) {
+			return fmt.Errorf("model: topology has %d stages, spec has %d",
+				p.Topo.NumStages(), len(p.Stages))
+		}
 	}
 	return nil
 }

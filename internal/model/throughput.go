@@ -21,7 +21,8 @@ type Prediction struct {
 	// link (+Inf when no inter-node traffic).
 	LinkBound float64
 	// Latency is the predicted one-item traversal time of an empty
-	// pipeline (service + transfer along the path), the model's
+	// pipeline: service + transfer along the critical path of the
+	// stage graph (for a chain, simply the path), the model's
 	// pipeline-fill estimate.
 	Latency float64
 }
@@ -36,9 +37,12 @@ type Prediction struct {
 //   - each node is a server processing its stages' aggregate per-item
 //     work at effective speed; throughput ≤ cores / busy-per-item;
 //   - each directed link is a pipe moving the per-item bytes crossing
-//     it; throughput ≤ bandwidth / bytes-per-item;
-//   - the pipeline rate is the minimum bound (latency affects fill
-//     time, not steady-state rate).
+//     it (one flow per stage-graph edge, so a split charges every
+//     branch and a merge's in-edges each carry their own part);
+//     throughput ≤ bandwidth / bytes-per-item;
+//   - the pipeline rate is the minimum bound — the saturation cut of
+//     the stage graph (latency affects fill time, not steady-state
+//     rate).
 //
 // Replicated stages deal items round-robin, so each of k replicas
 // receives 1/k of the per-item work and each replica pair link 1/(k·k')
@@ -95,13 +99,26 @@ func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Predi
 			}
 		}
 	}
+	// Data flows follow the stage graph: source → entry, one flow per
+	// edge (a split duplicates its payload onto every out-edge, a
+	// merge's in-edges each carry their own part), exit → sink. A nil
+	// Topo is the implicit chain — the Linearize identity — walked
+	// directly so the scheduler's search loops (one Predict per
+	// candidate mapping) stay free of per-call graph allocations.
+	exit := len(spec.Stages) - 1 // the structural contract pins entry=0, exit=n-1
 	source := []grid.NodeID{spec.Source}
 	sink := []grid.NodeID{spec.Sink}
 	addFlow(source, m.Assign[0], spec.InBytes)
-	for i := 0; i+1 < len(spec.Stages); i++ {
-		addFlow(m.Assign[i], m.Assign[i+1], spec.Stages[i].OutBytes)
+	if spec.Topo == nil {
+		for i := 0; i+1 < len(spec.Stages); i++ {
+			addFlow(m.Assign[i], m.Assign[i+1], spec.Stages[i].OutBytes)
+		}
+	} else {
+		for _, ed := range spec.Topo.Edges {
+			addFlow(m.Assign[ed.From], m.Assign[ed.To], ed.Bytes)
+		}
 	}
-	addFlow(m.Assign[len(spec.Stages)-1], sink, spec.Stages[len(spec.Stages)-1].OutBytes)
+	addFlow(m.Assign[exit], sink, spec.Stages[exit].OutBytes)
 
 	// Bounds.
 	tp := math.Inf(1)
@@ -129,22 +146,60 @@ func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Predi
 		bottleneck = -1
 	}
 
-	// One-item latency through an empty pipeline: service on the first
-	// replica of each stage plus transfer along the first-replica path.
-	lat := 0.0
-	prev := spec.Source
-	prevBytes := spec.InBytes
-	for i, st := range spec.Stages {
-		n := m.Assign[i][0]
-		if prev != n {
-			lat += g.Link(prev, n).TransferDuration(prevBytes, 0)
+	// One-item latency through an empty pipeline: the critical
+	// (longest) path through the stage graph, with service on the
+	// first replica of each stage and transfers along first-replica
+	// edges. A merge stage starts when its latest part arrives, so its
+	// ready time is the max over in-edges. The nil-Topo chain walks
+	// sequentially (allocation-free); on a chain topology the DP
+	// performs the same additions in the same order, so both paths are
+	// bit-identical.
+	var lat float64
+	if spec.Topo == nil {
+		prev := spec.Source
+		prevBytes := spec.InBytes
+		for i, st := range spec.Stages {
+			n := m.Assign[i][0]
+			if prev != n {
+				lat += g.Link(prev, n).TransferDuration(prevBytes, 0)
+			}
+			node := g.Node(n)
+			lat += st.Work / (node.Speed * (1 - loadOf(n)))
+			prev, prevBytes = n, st.OutBytes
 		}
-		node := g.Node(n)
-		lat += st.Work / (node.Speed * (1 - loadOf(n)))
-		prev, prevBytes = n, st.OutBytes
-	}
-	if prev != spec.Sink {
-		lat += g.Link(prev, spec.Sink).TransferDuration(prevBytes, 0)
+		if prev != spec.Sink {
+			lat += g.Link(prev, spec.Sink).TransferDuration(prevBytes, 0)
+		}
+	} else {
+		graph := spec.Topo
+		ready := make([]float64, len(spec.Stages)) // output-ready time per stage
+		for i, st := range spec.Stages {
+			n := m.Assign[i][0]
+			t := 0.0
+			if ins := graph.InEdges(i); len(ins) == 0 {
+				if spec.Source != n {
+					t += g.Link(spec.Source, n).TransferDuration(spec.InBytes, 0)
+				}
+			} else {
+				for _, ei := range ins {
+					ed := graph.Edges[ei]
+					prev := m.Assign[ed.From][0]
+					arr := ready[ed.From]
+					if prev != n {
+						arr += g.Link(prev, n).TransferDuration(ed.Bytes, 0)
+					}
+					if arr > t {
+						t = arr
+					}
+				}
+			}
+			node := g.Node(n)
+			ready[i] = t + st.Work/(node.Speed*(1-loadOf(n)))
+		}
+		lat = ready[exit]
+		if last := m.Assign[exit][0]; last != spec.Sink {
+			lat += g.Link(last, spec.Sink).TransferDuration(spec.Stages[exit].OutBytes, 0)
+		}
 	}
 
 	return Prediction{

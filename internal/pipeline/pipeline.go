@@ -2,12 +2,18 @@
 // the pipeline skeleton: the same 1-for-1 discipline the simulator
 // models, executing real Go functions on the local machine.
 //
-// Semantics (eSkel Pipeline1for1):
-//   - every input passes through every stage in order;
-//   - each stage produces exactly one output per input;
+// Semantics (eSkel Pipeline1for1, generalised to a stage graph):
+//   - every input passes through every stage (along every edge of the
+//     stage graph — see internal/topo);
+//   - each stage produces exactly one output per input; a stage with
+//     several out-edges broadcasts its output along each (a split), a
+//     stage with several in-edges receives a []any holding one part
+//     per in-edge, in edge order (a merge);
 //   - outputs are delivered in input order, even when a stage is
-//     replicated across several concurrent workers (a sequence-number
-//     reorder buffer restores order at each stage boundary).
+//     replicated across several concurrent workers: each edge carries
+//     a sequence-ordered stream, restored by the producing stage's
+//     reorder ring, so a merge joins its in-streams by zipping them —
+//     ordering survives fan-in by construction.
 //
 // Stage parallelism is dynamic: SetReplicas adjusts a stage's worker
 // limit while the pipeline runs, which is the live counterpart of the
@@ -17,7 +23,10 @@
 // runs a pool of persistent workers (spawned lazily up to the replica
 // limit's high-water mark, never one goroutine per item), the reorder
 // buffer is a sequence-indexed ring rather than a map, and service
-// times accumulate in atomic meters rather than under a mutex.
+// times accumulate in atomic meters rather than under a mutex. Chains
+// built with New take exactly the historical linear wiring; only
+// graphs with actual splits/merges pay the zip/broadcast goroutines
+// (and one []any per item per merge boundary).
 package pipeline
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"gridpipe/internal/conc"
 	"gridpipe/internal/ring"
+	"gridpipe/internal/topo"
 )
 
 // Func is the computation of one stage. It must be safe for concurrent
@@ -56,23 +66,44 @@ type StageStats struct {
 	MaxService  time.Duration
 }
 
-// Pipeline is a runnable live pipeline. Create with New; a Pipeline is
+// Pipeline is a runnable live pipeline. Create with New (a linear
+// chain) or NewGraph (an arbitrary stage DAG); a Pipeline is
 // single-use: Run (or Process) may be called once.
 type Pipeline struct {
 	stages []Stage
+	edges  []topo.Edge // data-flow arcs; a chain for New
 	limits []*conc.Limiter
 	meters []*conc.Meter
 	ran    bool
 	mu     sync.Mutex
 }
 
-// New validates the stage list and builds a pipeline.
+// New validates the stage list and builds a linear pipeline: stage i
+// feeds stage i+1.
 func New(stages ...Stage) (*Pipeline, error) {
+	var edges []topo.Edge
+	for i := 0; i+1 < len(stages); i++ {
+		edges = append(edges, topo.Edge{From: i, To: i + 1})
+	}
+	return NewGraph(stages, edges)
+}
+
+// NewGraph validates the stages and edges and builds a stage-graph
+// pipeline. The edge set must satisfy the internal/topo structural
+// contract: stages listed in topological order (From < To on every
+// edge), one entry (stage 0), one exit (the last stage), every stage
+// on an entry→exit path. A stage with several in-edges receives a
+// []any of parts in in-edge order.
+func NewGraph(stages []Stage, edges []topo.Edge) (*Pipeline, error) {
 	if len(stages) == 0 {
 		return nil, fmt.Errorf("pipeline: no stages")
 	}
-	p := &Pipeline{stages: make([]Stage, len(stages))}
+	p := &Pipeline{
+		stages: make([]Stage, len(stages)),
+		edges:  append([]topo.Edge(nil), edges...),
+	}
 	copy(p.stages, stages)
+	tg := &topo.Graph{Stages: make([]topo.Stage, len(stages)), Edges: p.edges}
 	for i := range p.stages {
 		st := &p.stages[i]
 		if st.Fn == nil {
@@ -87,8 +118,12 @@ func New(stages ...Stage) (*Pipeline, error) {
 		if st.Buffer <= 0 {
 			st.Buffer = 1
 		}
+		tg.Stages[i] = topo.Stage{Name: st.Name}
 		p.limits = append(p.limits, conc.NewLimiter(st.Replicas))
 		p.meters = append(p.meters, &conc.Meter{})
+	}
+	if err := tg.Validate(); err != nil {
+		return nil, err
 	}
 	return p, nil
 }
@@ -183,12 +218,60 @@ func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-ch
 		}
 	}()
 
-	in := head
+	// Wire one channel per graph edge, each carrying a sequence-
+	// ordered stream, buffered by the producing stage's capacity (the
+	// historical chain wiring). Splits broadcast through a fan-out
+	// goroutine; merges zip their in-streams, which are all ordered
+	// 0,1,2,…, so the join is a lockstep read — 1-for-1 ordering
+	// survives fan-in by construction.
+	n := len(p.stages)
+	inEdges := make([][]int, n)
+	outEdges := make([][]int, n)
+	for ei, e := range p.edges {
+		outEdges[e.From] = append(outEdges[e.From], ei)
+		inEdges[e.To] = append(inEdges[e.To], ei)
+	}
+	chans := make([]chan seqItem, len(p.edges))
+	for ei, e := range p.edges {
+		chans[ei] = make(chan seqItem, p.stages[e.From].Buffer)
+	}
+	final := make(chan seqItem, p.stages[n-1].Buffer)
+
 	for i := range p.stages {
-		out := make(chan seqItem, p.stages[i].Buffer)
+		var in <-chan seqItem
+		switch {
+		case len(inEdges[i]) == 0: // entry
+			in = head
+		case len(inEdges[i]) == 1:
+			in = chans[inEdges[i][0]]
+		default: // merge: zip the ordered in-streams
+			ins := make([]<-chan seqItem, len(inEdges[i]))
+			for k, ei := range inEdges[i] {
+				ins[k] = chans[ei]
+			}
+			joined := make(chan seqItem, p.stages[i].Buffer)
+			wg.Add(1)
+			go zipJoin(ctx, ins, joined, &wg, fail)
+			in = joined
+		}
+		var out chan seqItem
+		switch {
+		case len(outEdges[i]) == 0: // exit
+			out = final
+		case len(outEdges[i]) == 1:
+			out = chans[outEdges[i][0]]
+		default: // split: broadcast to every out-edge
+			outs := make([]chan<- seqItem, len(outEdges[i]))
+			for k, ei := range outEdges[i] {
+				outs[k] = chans[ei]
+			}
+			spread := make(chan seqItem, p.stages[i].Buffer)
+			wg.Add(1)
+			go broadcast(ctx, spread, outs, &wg)
+			out = spread
+		}
 		wg.Add(1)
 		go p.runStage(ctx, i, in, out, &wg, fail)
-		in = out
 	}
 
 	results := make(chan any)
@@ -196,7 +279,7 @@ func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-ch
 	wg.Add(1)
 	go func() { // untag and deliver
 		defer wg.Done()
-		for it := range in {
+		for it := range final {
 			select {
 			case results <- it.v:
 			case <-ctx.Done():
@@ -297,6 +380,72 @@ func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out c
 	close(done)
 	<-reordered
 	close(out)
+}
+
+// zipJoin merges the in-streams of a fan-in stage. Every in-stream is
+// sequence-ordered (0,1,2,…) and 1-for-1, so the join reads one item
+// per stream in lockstep and emits a []any of the parts in in-edge
+// order under the shared sequence number.
+func zipJoin(ctx context.Context, ins []<-chan seqItem, out chan<- seqItem, wg *sync.WaitGroup, fail func(error)) {
+	defer wg.Done()
+	defer close(out)
+	for {
+		parts := make([]any, len(ins))
+		seq := -1
+		for k, ch := range ins {
+			select {
+			case it, ok := <-ch:
+				if !ok {
+					// Streams carry identical sequences; the first to
+					// close ends the join (its siblings close with the
+					// same count unless the run is already failing).
+					return
+				}
+				if seq >= 0 && it.seq != seq {
+					fail(fmt.Errorf("pipeline: fan-in sequence skew (%d vs %d)", it.seq, seq))
+					return
+				}
+				seq = it.seq
+				parts[k] = it.v
+			case <-ctx.Done():
+				return
+			}
+		}
+		select {
+		case out <- seqItem{seq, parts}:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// broadcast fans a split stage's ordered output onto every out-edge.
+func broadcast(ctx context.Context, in <-chan seqItem, outs []chan<- seqItem, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer func() {
+		for _, ch := range outs {
+			close(ch)
+		}
+	}()
+	for {
+		var it seqItem
+		var ok bool
+		select {
+		case it, ok = <-in:
+		case <-ctx.Done():
+			return
+		}
+		if !ok {
+			return
+		}
+		for _, ch := range outs {
+			select {
+			case ch <- it:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
 }
 
 // Process runs the pipeline over a slice and returns the outputs in

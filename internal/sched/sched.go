@@ -2,6 +2,12 @@
 // grid, and per-node load estimates, find a stage→node mapping with
 // high predicted throughput under the analytic model.
 //
+// Specs may carry an arbitrary stage graph (internal/topo): every
+// strategy searches over the graph's stages, and the predictions it
+// optimises account for per-edge traffic (splits charge every branch,
+// merges join), so fan-out/fan-in pipelines are first-class citizens
+// of the search space.
+//
 // Four strategies with different cost/quality trade-offs are provided
 // (compared head-to-head in experiment T4):
 //
@@ -68,7 +74,10 @@ func (Exhaustive) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64)
 // Contiguity means only adjacent-stage traffic ever crosses a link, the
 // same structural restriction the era's mapping tables used. The DP is
 // exact within that restriction but ignores link bandwidth (checked
-// against Exhaustive in T4).
+// against Exhaustive in T4). On a non-linear stage graph "contiguous"
+// means contiguous in the topological stage order — still a valid
+// (work-balancing) heuristic, though edge-adjacency is then only
+// approximate.
 type ContiguousDP struct{}
 
 // Name implements Searcher.
