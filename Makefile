@@ -28,7 +28,7 @@ bench:
 # Regenerate the machine-readable perf snapshot (see DESIGN.md,
 # "Benchmark protocol"; bump the file number to your PR number).
 bench-json:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_1.json
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_3.json
 
 race:
 	$(GO) test -race ./...

@@ -51,8 +51,10 @@ func BenchmarkT1Overhead(b *testing.B)           { benchExperiment(b, "T1") }
 func BenchmarkT2ModelValidation(b *testing.B)    { benchExperiment(b, "T2") }
 func BenchmarkT3Forecasters(b *testing.B)        { benchExperiment(b, "T3") }
 func BenchmarkT4MappingSearch(b *testing.B)      { benchExperiment(b, "T4") }
-func BenchmarkF7Outage(b *testing.B)             { benchExperiment(b, "F7") }
+func BenchmarkF7Saturation(b *testing.B)         { benchExperiment(b, "F7") }
 func BenchmarkF8DiamondTopology(b *testing.B)    { benchExperiment(b, "F8") }
+func BenchmarkF9Churn(b *testing.B)              { benchExperiment(b, "F9") }
+func BenchmarkF10ElasticJoin(b *testing.B)       { benchExperiment(b, "F10") }
 func BenchmarkT5LatencyModel(b *testing.B)       { benchExperiment(b, "T5") }
 func BenchmarkA1Triggers(b *testing.B)           { benchExperiment(b, "A1") }
 func BenchmarkA2RemapProtocol(b *testing.B)      { benchExperiment(b, "A2") }

@@ -66,11 +66,20 @@ func run(wl, gridPath string, nodes int, policyName string, items int, duration 
 		app.Name, app.Spec.NumStages(), app.Spec.TotalWork())
 	fmt.Print(g.String())
 
-	m0, _, err := (sched.LocalSearch{Seed: seed}).Search(g, app.Spec, nil)
+	// A churn block in the grid config makes the scenario volatile: the
+	// deployment mapping avoids not-yet-joined nodes and the executor
+	// replays crash/rejoin/join/drain events in virtual time.
+	churn := g.Churn()
+	var avail []bool
+	if churn != nil {
+		fmt.Printf("churn: %d lifecycle events\n", len(churn.Events()))
+		avail = churn.InitialAvail(g)
+	}
+	m0, _, err := sched.SearchAvailable(sched.LocalSearch{Seed: seed}, g, app.Spec, nil, avail)
 	if err != nil {
 		return err
 	}
-	m0, pred, err := sched.ImproveWithReplication(g, app.Spec, m0, nil, 0)
+	m0, pred, err := sched.ImproveWithReplicationAvail(g, app.Spec, m0, nil, 0, avail)
 	if err != nil {
 		return err
 	}
@@ -89,6 +98,9 @@ func run(wl, gridPath string, nodes int, policyName string, items int, duration 
 		Seed:        seed,
 	})
 	if err != nil {
+		return err
+	}
+	if err := ex.InstallChurn(churn); err != nil {
 		return err
 	}
 	proto := exec.DrainSafe
@@ -111,7 +123,7 @@ func run(wl, gridPath string, nodes int, policyName string, items int, duration 
 			return err
 		}
 		elapsed = ms
-		fmt.Printf("\ncompleted %d items in %.2f virtual seconds\n", items, ms)
+		fmt.Printf("\ncompleted %d items in %.2f virtual seconds\n", ex.Done(), ms)
 	} else {
 		done := ex.RunUntil(duration)
 		elapsed = duration
@@ -122,12 +134,16 @@ func run(wl, gridPath string, nodes int, policyName string, items int, duration 
 	st := ctrl.Stats()
 	fmt.Printf("throughput %.3f items/s, %d remaps, %d items migrated, %.2f ref-s redone\n",
 		float64(ex.Done())/elapsed, st.Remaps, ex.Migrations(), ex.RedoneWork())
+	if churn != nil {
+		fmt.Printf("churn ledger: %d lost, %d retries, %.2f ref-s of progress destroyed, %d fault remaps, mean availability %.4f\n",
+			ex.Lost(), ex.Retries(), ex.LostWork(), st.FaultRemaps, churn.MeanAvailability(g, elapsed))
+	}
 	fmt.Printf("final mapping %s\n", ex.Mapping())
 	if len(st.Events) > 0 {
-		tb := stats.NewTable("adaptation events", "t (s)", "from", "to", "pred old", "pred new", "moved")
+		tb := stats.NewTable("adaptation events", "t (s)", "from", "to", "pred old", "pred new", "moved", "fault")
 		for _, ev := range st.Events {
 			tb.AddRowf(ev.Time, ev.From.String(), ev.To.String(),
-				ev.PredictedOld, ev.PredictedNew, ev.Stats.Moved)
+				ev.PredictedOld, ev.PredictedNew, ev.Stats.Moved, ev.Fault)
 		}
 		fmt.Println(tb.String())
 	}

@@ -39,6 +39,15 @@ func main() {
 	}
 
 	fmt.Print(g.String())
+	if churn := g.Churn(); churn != nil {
+		ct := stats.NewTable("node lifecycle schedule (churn)",
+			"t (s)", "node", "event", "availability over horizon")
+		for _, ev := range churn.Events() {
+			ct.AddRowf(ev.T, ev.Node, ev.Kind.String(), churn.Availability(ev.Node, *horizon))
+		}
+		ct.AddNote("mean grid availability over horizon: %.4f", churn.MeanAvailability(g, *horizon))
+		fmt.Println(ct.String())
+	}
 	tb := stats.NewTable("node load over horizon",
 		"node", "speed", "cores", "mean load", "max load", "mean eff speed")
 	for _, n := range g.Nodes() {

@@ -8,9 +8,15 @@ import (
 	"time"
 )
 
+// raceEnabled is set by smoke_race_test.go when the test binary was
+// built with -race, so the example binaries get race-instrumented too
+// (their live goroutine pipelines are the point of running them).
+var raceEnabled bool
+
 // TestExamplesSmoke builds and runs every example binary end to end:
 // the examples are living documentation and must keep producing output
-// (not just compiling) as the layers under them are refactored.
+// (not just compiling) as the layers under them are refactored. Under
+// `go test -race` the examples are built with -race as well.
 func TestExamplesSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the example binaries")
@@ -22,7 +28,11 @@ func TestExamplesSmoke(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			bin := filepath.Join(bindir, name)
-			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			args := []string{"build", "-o", bin}
+			if raceEnabled {
+				args = append(args, "-race")
+			}
+			build := exec.Command("go", append(args, "./examples/"+name)...)
 			if out, err := build.CombinedOutput(); err != nil {
 				t.Fatalf("build: %v\n%s", err, out)
 			}

@@ -135,6 +135,9 @@ type Event struct {
 	PredictedOld float64
 	PredictedNew float64
 	Stats        exec.RemapStats
+	// Fault marks a remap forced by a node crash (hysteresis and
+	// trigger thresholds bypassed).
+	Fault bool
 }
 
 // Stats summarises a controller's activity.
@@ -142,7 +145,10 @@ type Stats struct {
 	Ticks    int
 	Searches int
 	Remaps   int
-	Events   []Event
+	// FaultRemaps counts remaps forced by node crashes, a subset of
+	// Remaps.
+	FaultRemaps int
+	Events      []Event
 }
 
 // Controller drives adaptation of one executor.
@@ -156,6 +162,10 @@ type Controller struct {
 	sensors []*monitor.NodeSensor
 	ticker  *sim.Ticker
 	stats   Stats
+	// availBuf is the reusable availability mask handed to the search;
+	// it stays nil (and the search unrestricted) until churn actually
+	// takes a node out.
+	availBuf []bool
 }
 
 // NewController builds a controller. Call Start before running the
@@ -180,12 +190,15 @@ func (c *Controller) Stats() Stats {
 	return out
 }
 
-// Start installs the periodic sensing/decision tick. A static
-// controller installs nothing.
+// Start installs the periodic sensing/decision tick and the fault
+// hook. A static controller installs nothing: it neither adapts to
+// load nor reacts to crashes, which is exactly the baseline the churn
+// experiments measure against.
 func (c *Controller) Start() {
 	if c.cfg.Policy == PolicyStatic {
 		return
 	}
+	c.ex.SetLifecycleHook(c.onLifecycle)
 	c.ticker = sim.NewTicker(c.eng, c.cfg.Interval, c.tick)
 }
 
@@ -243,18 +256,44 @@ func (c *Controller) tick(now float64) {
 	if !c.shouldSearch(now, currentPred.Throughput) {
 		return
 	}
-	c.stats.Searches++
+	c.searchAndActuate(now, loads, currentPred.Throughput, false)
+}
 
-	cand, candPred, err := c.cfg.Searcher.Search(c.g, c.spec, loads)
+// searchAndActuate runs one mapping search over the available nodes
+// and remaps when warranted: the shared tail of the periodic tick and
+// the fault path. oldPred is the model's view of the current mapping,
+// recorded in the event; fault bypasses the hysteresis bar (a dead or
+// draining replica already invalidated the placement) and marks the
+// event. The search excludes Down/Draining nodes, and a node that
+// rejoined (or joined fresh) since the last search is simply in the
+// mask again — "folded into the next search" with no special casing.
+// When churn has taken every node out, the search is skipped entirely:
+// parts park in the executor until a rejoin restores capacity.
+func (c *Controller) searchAndActuate(now float64, loads []float64, oldPred float64, fault bool) {
+	avail := c.availMask()
+	if avail != nil {
+		any := false
+		for _, ok := range avail {
+			if ok {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return // nothing to map onto; wait for a rejoin
+		}
+	}
+	c.stats.Searches++
+	cand, candPred, err := sched.SearchAvailable(c.cfg.Searcher, c.g, c.spec, loads, avail)
 	if err != nil {
 		panic(fmt.Sprintf("adaptive: search: %v", err))
 	}
-	cand, candPred, err = sched.ImproveWithReplication(c.g, c.spec, cand, loads, c.cfg.MaxReplicas)
+	cand, candPred, err = sched.ImproveWithReplicationAvail(c.g, c.spec, cand, loads, c.cfg.MaxReplicas, avail)
 	if err != nil {
 		panic(fmt.Sprintf("adaptive: replication: %v", err))
 	}
 
-	if candPred.Throughput < c.cfg.HysteresisGain*currentPred.Throughput {
+	if !fault && candPred.Throughput < c.cfg.HysteresisGain*oldPred {
 		return // not worth the disruption
 	}
 	old := c.ex.Mapping()
@@ -269,14 +308,71 @@ func (c *Controller) tick(now float64) {
 		return
 	}
 	c.stats.Remaps++
+	if fault {
+		c.stats.FaultRemaps++
+	}
 	c.stats.Events = append(c.stats.Events, Event{
 		Time:         now,
 		From:         old,
 		To:           cand,
-		PredictedOld: currentPred.Throughput,
+		PredictedOld: oldPred,
 		PredictedNew: candPred.Throughput,
 		Stats:        st,
+		Fault:        fault,
 	})
+}
+
+// availMask returns the executor's current availability as a search
+// mask, or nil while every node is up (the common case, which keeps
+// the no-churn decision path identical to the pre-lifecycle
+// controller).
+func (c *Controller) availMask() []bool {
+	if c.ex.AllAvailable() {
+		return nil
+	}
+	if c.availBuf == nil {
+		c.availBuf = make([]bool, c.g.NumNodes())
+	}
+	for i := range c.availBuf {
+		c.availBuf[i] = c.ex.Available(grid.NodeID(i))
+	}
+	return c.availBuf
+}
+
+// onLifecycle is the executor's fault hook. A crash — or a drain,
+// which is a planned evacuation — of a node the current mapping uses
+// triggers an immediate remap: no waiting for the next tick, no
+// hysteresis bar, no cooldown. With a replica dead (or refusing new
+// work), any feasible placement beats the current one; waiting for the
+// reactive throughput trigger would not even fire on a total stall,
+// since a window with zero completions reads as "no signal" rather
+// than "zero". Rejoins and joins need no immediate action; the
+// periodic tick's search mask already includes them.
+func (c *Controller) onLifecycle(now float64, n grid.NodeID, s grid.NodeState) {
+	if s == grid.Up {
+		return
+	}
+	if !c.ex.Mapping().UsesNode(n) {
+		return
+	}
+	c.faultRemap(now)
+}
+
+// faultRemap searches over the live nodes and actuates unconditionally
+// (the crash already invalidated the current mapping). The old
+// prediction is the model's view of the placement the crash just
+// invalidated (its loads cannot see the dead node), recorded for the
+// events table only — the fault path never gates on it.
+func (c *Controller) faultRemap(now float64) {
+	for _, s := range c.sensors {
+		s.Sample(now)
+	}
+	loads := c.loadEstimates(now)
+	oldPred, err := model.Predict(c.g, c.spec, c.ex.Mapping(), loads)
+	if err != nil {
+		panic(fmt.Sprintf("adaptive: predict pre-fault mapping: %v", err))
+	}
+	c.searchAndActuate(now, loads, oldPred.Throughput, true)
 }
 
 // normalizedImbalance returns the ratio of the largest to the smallest

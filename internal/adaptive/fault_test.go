@@ -1,0 +1,179 @@
+package adaptive
+
+import (
+	"testing"
+
+	"gridpipe/internal/exec"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/sched"
+	"gridpipe/internal/sim"
+)
+
+// faultFixture builds a 4-node grid, 3-stage pipeline, executor and
+// controller with churn installed.
+func faultFixture(t *testing.T, policy Policy, evs ...grid.ChurnEvent) (*sim.Engine, *exec.Executor, *Controller) {
+	t.Helper()
+	g, err := grid.Homogeneous(4, 1, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(3, 0.1, 1e4)
+	eng := &sim.Engine{}
+	ex, err := exec.New(eng, g, spec, model.FromNodes(0, 1, 2), exec.Options{MaxInFlight: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := grid.NewChurnSchedule(evs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.InstallChurn(churn); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(eng, g, ex, spec, Config{
+		Policy:   policy,
+		Interval: 1,
+		Searcher: sched.LocalSearch{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, ex, ctrl
+}
+
+// TestCrashTriggersImmediateRemap: the fault hook remaps at the crash
+// instant, off-tick and regardless of hysteresis.
+func TestCrashTriggersImmediateRemap(t *testing.T) {
+	// Crash between ticks (ticks at 1, 2, ...; crash at 2.5).
+	_, ex, ctrl := faultFixture(t, PolicyReactive, grid.Outage("node1", 2.5, 20)...)
+	ctrl.Start()
+	done := ex.RunUntil(10)
+	ctrl.Stop()
+
+	st := ctrl.Stats()
+	if st.FaultRemaps == 0 {
+		t.Fatalf("no fault remap recorded (remaps=%d)", st.Remaps)
+	}
+	var fault *Event
+	for i := range st.Events {
+		if st.Events[i].Fault {
+			fault = &st.Events[i]
+			break
+		}
+	}
+	if fault == nil {
+		t.Fatal("no Fault event recorded")
+	}
+	if fault.Time != 2.5 {
+		t.Fatalf("fault remap at t=%v, want 2.5 (the crash instant, not the next tick)", fault.Time)
+	}
+	for _, nodes := range fault.To.Assign {
+		for _, n := range nodes {
+			if n == 1 {
+				t.Fatalf("fault remap kept the dead node: %s", fault.To)
+			}
+		}
+	}
+	if done == 0 {
+		t.Fatal("pipeline stalled despite the fault remap")
+	}
+	if ex.Lost() != 0 {
+		t.Fatalf("lost %d items; the remap should have preserved them", ex.Lost())
+	}
+}
+
+// TestStaticControllerIgnoresCrash: the static policy registers no
+// fault hook — the baseline really is inert.
+func TestStaticControllerIgnoresCrash(t *testing.T) {
+	_, ex, ctrl := faultFixture(t, PolicyStatic, grid.Outage("node1", 2.5, 8)...)
+	ctrl.Start()
+	ex.RunUntil(15)
+	ctrl.Stop()
+	st := ctrl.Stats()
+	if st.Remaps != 0 || st.FaultRemaps != 0 {
+		t.Fatalf("static controller remapped: %+v", st)
+	}
+	// Work bound for the dead node parks until the rejoin at t=8.
+	if ex.Retries() == 0 {
+		t.Fatal("expected crash retries under the static mapping")
+	}
+}
+
+// TestRejoinFoldedIntoNextSearch: after a rejoin the node is eligible
+// again — a later tick may map back onto it (and at minimum the search
+// mask no longer excludes it; we assert remapping activity resumes
+// without a fault event).
+func TestRejoinFoldedIntoNextSearch(t *testing.T) {
+	_, ex, ctrl := faultFixture(t, PolicyPeriodic, grid.Outage("node1", 2.5, 4)...)
+	ctrl.Start()
+	ex.RunUntil(12)
+	ctrl.Stop()
+	st := ctrl.Stats()
+	// The periodic policy searches every tick; after t=4 its searches
+	// run with a nil mask again. Verify the controller saw post-rejoin
+	// ticks and did not crash or stall.
+	if st.Ticks < 10 {
+		t.Fatalf("ticks = %d, want ~12", st.Ticks)
+	}
+	if ex.Done() == 0 {
+		t.Fatal("no completions")
+	}
+	// Post-rejoin the executor must report full availability.
+	if !ex.AllAvailable() {
+		t.Fatal("executor still reports unavailable nodes after rejoin")
+	}
+}
+
+// TestAllNodesDownDoesNotPanic: a valid schedule may take every node
+// out at once; the controller must skip the search (nothing to map
+// onto), let work park, and recover at the rejoins.
+func TestAllNodesDownDoesNotPanic(t *testing.T) {
+	g, err := grid.Homogeneous(2, 1, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(2, 0.1, 1e4)
+	eng := &sim.Engine{}
+	ex, err := exec.New(eng, g, spec, model.FromNodes(0, 1), exec.Options{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn, err := grid.NewChurnSchedule(
+		append(grid.Outage("node0", 3, 8), grid.Outage("node1", 3, 9)...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.InstallChurn(churn); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(eng, g, ex, spec, Config{
+		Policy:   PolicyReactive,
+		Interval: 1,
+		Searcher: sched.LocalSearch{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	done := ex.RunUntil(20) // must not panic while the whole grid is dark
+	ctrl.Stop()
+	if done == 0 {
+		t.Fatal("no completions after the grid came back")
+	}
+	if !ex.AllAvailable() {
+		t.Fatal("grid should be fully back by t=20")
+	}
+}
+
+// TestCrashOfUnusedNodeNoRemap: a crash of a node the mapping does not
+// use must not force a remap.
+func TestCrashOfUnusedNodeNoRemap(t *testing.T) {
+	_, ex, ctrl := faultFixture(t, PolicyReactive, grid.Outage("node3", 2.5, 20)...)
+	ctrl.Start()
+	ex.RunUntil(6)
+	ctrl.Stop()
+	if st := ctrl.Stats(); st.FaultRemaps != 0 {
+		t.Fatalf("fault remap for an unused node: %+v", st)
+	}
+}

@@ -54,6 +54,9 @@ type runOutcome struct {
 	Makespan float64 // only for fixed-item runs
 	Exec     *exec.Executor
 	Ctrl     adaptive.Stats
+	// Lost/Retries are the churn ledger (zero without a schedule).
+	Lost    int
+	Retries int
 }
 
 // runConfig describes one simulated pipeline run.
@@ -71,6 +74,11 @@ type runConfig struct {
 	MaxInFlight int
 	// Sampler overrides the app's per-item work sampler when non-nil.
 	Sampler func(stage, seq int) float64
+	// Churn is the optional node-lifecycle schedule replayed during the
+	// run.
+	Churn *grid.ChurnSchedule
+	// MaxRetries is the per-item crash-retry budget (see exec.Options).
+	MaxRetries int
 }
 
 // run executes the configuration and returns the outcome.
@@ -92,9 +100,15 @@ func run(c runConfig) (runOutcome, error) {
 		MaxInFlight: maxIF,
 		WorkSampler: sampler,
 		Seed:        c.Seed,
+		MaxRetries:  c.MaxRetries,
 	})
 	if err != nil {
 		return runOutcome{}, err
+	}
+	if c.Churn != nil {
+		if err := ex.InstallChurn(c.Churn); err != nil {
+			return runOutcome{}, err
+		}
 	}
 	ctrl, err := adaptive.NewController(eng, c.Grid, ex, c.App.Spec, adaptive.Config{
 		Policy:   c.Policy,
@@ -113,12 +127,14 @@ func run(c runConfig) (runOutcome, error) {
 			return runOutcome{}, err
 		}
 		out.Makespan = ms
-		out.Done = c.Items
+		out.Done = ex.Done()
 	} else {
 		out.Done = ex.RunUntil(c.Duration)
 	}
 	ctrl.Stop()
 	out.Ctrl = ctrl.Stats()
+	out.Lost = ex.Lost()
+	out.Retries = ex.Retries()
 	return out, nil
 }
 

@@ -16,15 +16,17 @@ import (
 )
 
 func init() {
-	register(Experiment{ID: "F7", Title: "Node outage and recovery: static vs adaptive", Run: runF7})
+	register(Experiment{ID: "F7", Title: "Node load saturation and recovery: static vs adaptive (node stays Up)", Run: runF7})
 	register(Experiment{ID: "T5", Title: "Latency model (M/G/1) vs simulation under Poisson arrivals", Run: runT5})
 	register(Experiment{ID: "A3", Title: "Ablation: hysteresis gain vs churn", Run: runA3})
 }
 
-// F7: the churn experiment. The node hosting two pipeline stages
-// suffers a full outage during [60, 140) and then recovers. Static
-// crawls at the outage floor; adaptive policies evacuate and may
-// return after recovery.
+// F7: the load-saturation experiment. The node hosting two pipeline
+// stages is saturated (load pinned at the maximum — it crawls at 2%
+// speed but stays Up) during [60, 140) and then recovers. Static
+// crawls at the saturation floor; adaptive policies evacuate and may
+// return after recovery. True crash/rejoin churn — the node actually
+// going Down — is experiment F9.
 func runF7(seed uint64) (*Result, error) {
 	const (
 		horizon  = 240.0
@@ -38,7 +40,7 @@ func runF7(seed uint64) (*Result, error) {
 		for i := range nodes {
 			nodes[i] = &grid.Node{Name: fmt.Sprintf("node%d", i), Speed: 1, Cores: 1}
 			if i == victim {
-				nodes[i].Load = grid.Outage(nil, failAt, recoverT)
+				nodes[i].Load = grid.Saturate(nil, failAt, recoverT)
 			}
 		}
 		return grid.NewGrid(grid.LANLink, nodes...)

@@ -61,6 +61,10 @@ type Options struct {
 	MonitorWindow int
 	// Seed drives the Poisson arrival stream.
 	Seed uint64
+	// MaxRetries is how many crash-induced re-dispatches an item
+	// survives before it is dropped and counted lost. Zero means the
+	// default (8); negative means never drop.
+	MaxRetries int
 }
 
 // RemapProtocol selects how in-flight work is handled during a remap.
@@ -118,6 +122,18 @@ type item struct {
 	pending []int32
 	dest    []grid.NodeID
 	joined  []float64
+	// joinEpoch[s] records the node crash-epoch under which the item's
+	// join at stage s accumulated its parts: if the replica crashed and
+	// rejoined mid-join, the epochs disagree and the accumulated parts
+	// (which died with the crash) are re-fetched from the upstream
+	// boundary. Allocated alongside pending/dest/joined.
+	joinEpoch []uint32
+	// tries counts crash-induced re-dispatches (per-item retry
+	// accounting); dropped tombstones an item counted lost so sibling
+	// parts still in flight are discarded on sight. Both reset at
+	// admission.
+	tries   int32
+	dropped bool
 }
 
 // task is an item waiting for or receiving service at a stage replica.
@@ -157,6 +173,11 @@ type Executor struct {
 	inbytes  []float64
 	exit     int
 	hasMerge bool
+	// pred[s] lists stage s's in-edges (edgeHop.to holds the
+	// predecessor stage); multiPart is true when the graph can put one
+	// item in several places at once (any fan-out or fan-in).
+	pred      [][]edgeHop
+	multiPart bool
 
 	mon   *monitor.Monitor
 	nodes []*nodeServer
@@ -169,6 +190,25 @@ type Executor struct {
 	completed  int
 	migrations int     // items moved by remaps
 	redone     float64 // reference-seconds redone after kills
+
+	// Node lifecycle state (see churn.go). unavail counts nodes not
+	// accepting new work (Down or Draining): the hot-path guard — every
+	// churn branch is skipped while it is zero, keeping no-churn runs
+	// bit-identical to the pre-lifecycle executor.
+	unavail       int
+	epoch         []uint32 // per-node crash epoch (bumped by nodeDown)
+	churnEvs      []churnEv
+	lifecycleHook func(now float64, n grid.NodeID, s grid.NodeState)
+	maxRetries    int
+	lost          int
+	retries       int
+	lostWork      float64
+	parked        []parkedPart
+	parkedAlt     []parkedPart
+	// Test hooks for the conservation property tests: exactly-once
+	// completion/loss per admitted sequence number.
+	onComplete func(seq int)
+	onLost     func(seq int)
 
 	latencies []float64 // per-item pipeline traversal times
 	poisson   *poissonSource
@@ -210,18 +250,36 @@ func New(eng *sim.Engine, g *grid.Grid, spec model.PipelineSpec, m model.Mapping
 	e.succ = make([][]edgeHop, ns)
 	e.indeg = make([]int32, ns)
 	e.inbytes = make([]float64, ns)
+	e.pred = make([][]edgeHop, ns)
 	for i := 0; i < ns; i++ {
 		for _, ei := range e.graph.OutEdges(i) {
 			ed := e.graph.Edges[ei]
 			e.succ[i] = append(e.succ[i], edgeHop{to: ed.To, bytes: ed.Bytes})
+		}
+		for _, ei := range e.graph.InEdges(i) {
+			ed := e.graph.Edges[ei]
+			e.pred[i] = append(e.pred[i], edgeHop{to: ed.From, bytes: ed.Bytes})
 		}
 		e.indeg[i] = int32(e.graph.InDegree(i))
 		e.inbytes[i] = e.graph.InBytesOf(i, spec.InBytes)
 		if e.indeg[i] > 1 {
 			e.hasMerge = true
 		}
+		if len(e.succ[i]) > 1 {
+			e.multiPart = true
+		}
+	}
+	if e.hasMerge {
+		e.multiPart = true
+	}
+	e.maxRetries = opts.MaxRetries
+	if e.maxRetries == 0 {
+		e.maxRetries = 8
+	} else if e.maxRetries < 0 {
+		e.maxRetries = 0 // unlimited
 	}
 	e.nodes = make([]*nodeServer, g.NumNodes())
+	e.epoch = make([]uint32, g.NumNodes())
 	for i := range e.nodes {
 		e.nodes[i] = newNodeServer(e, g.Node(grid.NodeID(i)))
 	}
@@ -298,6 +356,8 @@ func (e *Executor) admit() {
 	it := e.getItem()
 	it.seq = e.admitted
 	it.started = e.eng.Now()
+	it.tries = 0
+	it.dropped = false
 	for i := range it.work {
 		it.work[i] = math.NaN() // sampled lazily at first service
 	}
@@ -328,6 +388,7 @@ func (e *Executor) getItem() *item {
 		it.pending = make([]int32, e.spec.NumStages())
 		it.dest = make([]grid.NodeID, e.spec.NumStages())
 		it.joined = make([]float64, e.spec.NumStages())
+		it.joinEpoch = make([]uint32, e.spec.NumStages())
 	}
 	return it
 }
@@ -370,9 +431,21 @@ func (e *Executor) putTransfer(tx *transfer) {
 	e.txFree = append(e.txFree, tx)
 }
 
-// pickReplica deals the next item of a stage round-robin.
+// pickReplica deals the next item of a stage round-robin. While any
+// node is unavailable the dealer skips non-Up replicas; if none is
+// live it falls back to the blind pick, so the part bounces at
+// delivery and parks until capacity returns.
 func (e *Executor) pickReplica(stage int) grid.NodeID {
 	replicas := e.mapping.Assign[stage]
+	if e.unavail > 0 {
+		for range replicas {
+			n := replicas[e.rr[stage]%len(replicas)]
+			e.rr[stage]++
+			if e.isUp(n) {
+				return n
+			}
+		}
+	}
 	n := replicas[e.rr[stage]%len(replicas)]
 	e.rr[stage]++
 	return n
@@ -403,16 +476,33 @@ func (e *Executor) redirectDest(it *item, stage int) grid.NodeID {
 	if e.hasMerge && e.indeg[stage] > 1 {
 		old := it.dest[stage]
 		if old >= 0 && onNode(e.mapping.Assign[stage], old) {
-			return old
+			// The sticky replica survives while it is Up, or while it is
+			// Draining with this item's join already in progress (a
+			// draining node finishes joins it accepted).
+			st := grid.Up
+			if e.unavail > 0 {
+				st = e.g.Node(old).State()
+			}
+			if st == grid.Up || (st == grid.Draining && e.joinInProgress(it, stage)) {
+				return old
+			}
 		}
 		d := e.pickReplica(stage)
 		it.dest[stage] = d
-		if old >= 0 && old != d && it.pending[stage] > 0 && it.pending[stage] < e.indeg[stage] {
+		it.joinEpoch[stage] = e.epoch[d]
+		if old >= 0 && old != d && e.joinInProgress(it, stage) {
 			moved := it.joined[stage]
 			it.joined[stage] = 0
 			it.pending[stage]++ // the join must wait for the relocation
 			e.migrations++
-			e.transfer(it, stage, old, d, moved)
+			// Parts joined at a crashed replica are gone with it; they
+			// are conservatively re-fetched from the upstream boundary
+			// instead of "moving" off the dead node.
+			src := old
+			if e.unavail > 0 && e.g.Node(old).State() == grid.Down {
+				src = e.boundarySrc(stage)
+			}
+			e.transfer(it, stage, src, d, moved)
 		}
 		return d
 	}
@@ -447,6 +537,9 @@ func (e *Executor) link(a, b grid.NodeID) *linkServer {
 // real redirect costs. At a fan-in stage the part joins the item's
 // tally and service starts only when the last part has arrived.
 func (e *Executor) deliver(it *item, stage int, n grid.NodeID, bytes, transferDur float64) {
+	if it.dropped {
+		return // tombstoned: a sibling part exhausted the retry budget
+	}
 	if stage >= e.spec.NumStages() {
 		// Arrived at the sink: the item is done.
 		e.complete(it)
@@ -455,12 +548,38 @@ func (e *Executor) deliver(it *item, stage int, n grid.NodeID, bytes, transferDu
 	if transferDur > 0 {
 		e.mon.Stage(stage).RecordTransfer(transferDur)
 	}
-	if !onNode(e.mapping.Assign[stage], n) {
+	if !e.accepts(it, stage, n) {
+		if e.unavail > 0 && !e.stageHasLive(stage) {
+			// No live replica anywhere: the part returns to its stage
+			// boundary and waits for a rejoin, join, or remap.
+			e.park(it, stage, bytes)
+			return
+		}
 		dest := e.redirectDest(it, stage)
 		e.transfer(it, stage, n, dest, bytes)
 		return
 	}
 	if e.hasMerge && e.indeg[stage] > 1 {
+		if it.pending[stage] == e.indeg[stage] {
+			// First part opens the join under the node's current crash
+			// epoch.
+			it.joinEpoch[stage] = e.epoch[n]
+		} else if it.joinEpoch[stage] != e.epoch[n] {
+			// The replica crashed (and rejoined) mid-join: the parts it
+			// had accumulated died with it. Re-fetch them from the
+			// upstream boundary as one consolidated part the join must
+			// wait for; crash recovery, so it counts on the retry
+			// ledger (not against the item's drop budget — no service
+			// progress is redone, only payload re-moved).
+			moved := it.joined[stage]
+			it.joined[stage] = 0
+			it.joinEpoch[stage] = e.epoch[n]
+			if moved > 0 {
+				it.pending[stage]++
+				e.retries++
+				e.transfer(it, stage, e.boundarySrc(stage), n, moved)
+			}
+		}
 		it.joined[stage] += bytes
 		it.pending[stage]--
 		if it.pending[stage] > 0 {
@@ -468,6 +587,36 @@ func (e *Executor) deliver(it *item, stage int, n grid.NodeID, bytes, transferDu
 		}
 	}
 	e.nodes[n].enqueue(it, stage)
+}
+
+// joinInProgress reports whether the item has a fan-in join open at
+// stage: some but not all parts arrived. Routing (redirectDest) and
+// acceptance (accepts) share it so a draining replica's obligations
+// cannot diverge between the two.
+func (e *Executor) joinInProgress(it *item, stage int) bool {
+	return it.pending[stage] > 0 && it.pending[stage] < e.indeg[stage]
+}
+
+// accepts reports whether node n takes a part of it bound for stage:
+// the stage must be mapped there and the node Up — or Draining with
+// this item's fan-in join already in progress, since a draining node
+// finishes the joins it accepted.
+func (e *Executor) accepts(it *item, stage int, n grid.NodeID) bool {
+	if !onNode(e.mapping.Assign[stage], n) {
+		return false
+	}
+	if e.unavail == 0 {
+		return true
+	}
+	switch e.g.Node(n).State() {
+	case grid.Up:
+		return true
+	case grid.Draining:
+		return e.hasMerge && e.indeg[stage] > 1 && it.dest[stage] == n &&
+			e.joinInProgress(it, stage)
+	default:
+		return false
+	}
 }
 
 // bytesInto returns the total message size entering the given stage:
@@ -516,6 +665,9 @@ func (e *Executor) complete(it *item) {
 	now := e.eng.Now()
 	e.mon.RecordCompletion(now)
 	e.latencies = append(e.latencies, now-it.started)
+	if e.onComplete != nil {
+		e.onComplete(it.seq)
+	}
 	e.putItem(it)
 	if e.poisson == nil {
 		for e.canAdmit() {
@@ -536,10 +688,13 @@ func (e *Executor) RunItems(n int) (float64, error) {
 	e.opts.TotalItems = n
 	e.Start()
 	start := e.eng.Now()
-	for e.completed < n && e.eng.Step() {
+	// Items dropped by churn count against the target: the run ends
+	// when every admitted item is accounted for (completed or lost).
+	for e.completed+e.lost < n && e.eng.Step() {
 	}
-	if e.completed != n {
-		return 0, fmt.Errorf("exec: completed %d of %d items (deadlock?)", e.completed, n)
+	if e.completed+e.lost != n {
+		return 0, fmt.Errorf("exec: completed %d and lost %d of %d items (deadlock?)",
+			e.completed, e.lost, n)
 	}
 	return e.eng.Now() - start, nil
 }

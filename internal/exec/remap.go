@@ -85,6 +85,9 @@ func (e *Executor) Remap(nm model.Mapping, protocol RemapProtocol) (RemapStats, 
 		}
 	}
 	st.Moved = e.migrations - mig0
+	// A remap can give a previously dead stage live replicas again:
+	// parts parked behind a crash re-dispatch onto the new placement.
+	e.flushParked()
 	return st, nil
 }
 

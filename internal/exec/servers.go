@@ -43,8 +43,13 @@ func (s *nodeServer) enqueue(it *item, stage int) {
 	s.dispatch()
 }
 
-// dispatch starts service while slots and work are available.
+// dispatch starts service while slots and work are available. A Down
+// node serves nothing; a Draining node keeps serving the queue it
+// already accepted.
 func (s *nodeServer) dispatch() {
+	if s.e.unavail > 0 && s.node.State() == grid.Down {
+		return
+	}
 	for s.busy < s.node.Cores {
 		t, ok := s.queue.Pop()
 		if !ok {
@@ -83,6 +88,12 @@ func (s *nodeServer) finish(t *task) {
 	// Recycle before routing: the transfer/delivery below may enqueue
 	// the item's next stage and reuse this very task.
 	s.e.putTask(t)
+	if it.dropped {
+		// A sibling part exhausted the item's retry budget while this
+		// one was in service; the result is discarded.
+		s.dispatch()
+		return
+	}
 	s.e.stageFinished(it, stage, s.node.ID, dur)
 	s.dispatch()
 }

@@ -92,24 +92,41 @@ func MultiSite(sites []Site, intra, inter Link) (*Grid, error) {
 	return g, nil
 }
 
-// Outage returns a trace that drives load to the maximum (node nearly
-// stopped) during [t0, t1) on top of a base load: the churn primitive
-// for failure/recovery experiments.
-func Outage(base trace.Trace, t0, t1 float64) trace.Trace {
+// Saturate returns a trace that drives load to the maximum (node
+// nearly stopped, but still Up) during [t0, t1) on top of a base load.
+// It was called Outage until the node-lifecycle subsystem landed — a
+// misnomer, since the node kept crawling through work at 2% speed
+// instead of going Down; the name Outage now belongs to the true
+// crash/rejoin primitive in lifecycle.go (see DESIGN.md, "Node
+// lifecycle & churn").
+func Saturate(base trace.Trace, t0, t1 float64) trace.Trace {
 	if base == nil {
 		base = trace.Constant(0)
 	}
-	return outageTrace{base: base, t0: t0, t1: t1}
+	return windowTrace{base: base, t0: t0, t1: t1, level: trace.MaxLoad}
 }
 
-type outageTrace struct {
+// Quiet returns a trace that clears the background load to zero during
+// [t0, t1): a guaranteed-idle window, the inverse scenario primitive of
+// Saturate (e.g. an off-peak reservation on a shared node).
+func Quiet(base trace.Trace, t0, t1 float64) trace.Trace {
+	if base == nil {
+		base = trace.Constant(0)
+	}
+	return windowTrace{base: base, t0: t0, t1: t1, level: 0}
+}
+
+// windowTrace overrides the base load with a fixed level inside
+// [t0, t1).
+type windowTrace struct {
 	base   trace.Trace
 	t0, t1 float64
+	level  float64
 }
 
-func (o outageTrace) At(t float64) float64 {
+func (o windowTrace) At(t float64) float64 {
 	if t >= o.t0 && t < o.t1 {
-		return trace.MaxLoad
+		return o.level
 	}
 	return o.base.At(t)
 }

@@ -99,11 +99,41 @@ type LinkSpec struct {
 	Bandwidth float64 `json:"bandwidth"`
 }
 
+// ChurnEventSpec is the JSON description of one node-lifecycle
+// transition.
+type ChurnEventSpec struct {
+	T    float64 `json:"t"`
+	Node string  `json:"node"`
+	Kind string  `json:"kind"` // crash|rejoin|join|drain
+}
+
+// ChurnSpec is the JSON description of a node-lifecycle schedule: the
+// scenario's churn axis. Events are validated as a per-node state
+// machine (no crash of an unknown or already-down node, no rejoin
+// before a crash); see NewChurnSchedule.
+type ChurnSpec struct {
+	Events []ChurnEventSpec `json:"events"`
+}
+
+// Build materialises the spec into a validated schedule.
+func (cs *ChurnSpec) Build() (*ChurnSchedule, error) {
+	evs := make([]ChurnEvent, len(cs.Events))
+	for i, es := range cs.Events {
+		kind, err := ParseChurnKind(es.Kind)
+		if err != nil {
+			return nil, err
+		}
+		evs[i] = ChurnEvent{T: es.T, Node: es.Node, Kind: kind}
+	}
+	return NewChurnSchedule(evs...)
+}
+
 // Config is the JSON description of a whole grid.
 type Config struct {
 	DefaultLink LinkSpec   `json:"defaultLink"`
 	Nodes       []NodeSpec `json:"nodes"`
 	Links       []LinkSpec `json:"links,omitempty"`
+	Churn       *ChurnSpec `json:"churn,omitempty"`
 }
 
 // Build materialises the configuration into a Grid.
@@ -141,6 +171,15 @@ func (c *Config) Build() (*Grid, error) {
 			return nil, fmt.Errorf("grid: link references unknown node %q or %q", ls.A, ls.B)
 		}
 		if err := g.SetLink(na.ID, nb.ID, Link{Latency: ls.Latency, Bandwidth: ls.Bandwidth}); err != nil {
+			return nil, err
+		}
+	}
+	if c.Churn != nil {
+		cs, err := c.Churn.Build()
+		if err != nil {
+			return nil, err
+		}
+		if err := g.SetChurn(cs); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,79 @@
+package grid
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadConfig feeds arbitrary JSON through the full config path
+// (parse + Build, including ChurnSpec validation): it must error
+// cleanly on anything malformed — overlapping outage windows, churn of
+// unknown nodes, rejoin before crash, hostile trace parameters — and
+// never panic.
+func FuzzLoadConfig(f *testing.F) {
+	seeds := []string{
+		// Minimal valid grid.
+		`{"nodes":[{"name":"a","speed":1}]}`,
+		// Valid grid with a full churn schedule.
+		`{"nodes":[{"name":"a","speed":1},{"name":"b","speed":2},{"name":"c","speed":1}],
+		  "churn":{"events":[
+		    {"t":10,"node":"b","kind":"crash"},
+		    {"t":20,"node":"b","kind":"rejoin"},
+		    {"t":5,"node":"c","kind":"join"},
+		    {"t":30,"node":"a","kind":"drain"}]}}`,
+		// Crash of an unknown node.
+		`{"nodes":[{"name":"a","speed":1}],"churn":{"events":[{"t":1,"node":"zz","kind":"crash"}]}}`,
+		// Rejoin before any crash.
+		`{"nodes":[{"name":"a","speed":1}],"churn":{"events":[{"t":1,"node":"a","kind":"rejoin"}]}}`,
+		// Overlapping outage windows.
+		`{"nodes":[{"name":"a","speed":1},{"name":"b","speed":1}],
+		  "churn":{"events":[{"t":1,"node":"a","kind":"crash"},{"t":2,"node":"a","kind":"crash"}]}}`,
+		// Unknown kind, negative time, missing fields.
+		`{"nodes":[{"name":"a","speed":1}],"churn":{"events":[{"t":1,"node":"a","kind":"explode"}]}}`,
+		`{"nodes":[{"name":"a","speed":1}],"churn":{"events":[{"t":-3,"node":"a","kind":"crash"}]}}`,
+		`{"nodes":[{"name":"a","speed":1}],"churn":{"events":[{}]}}`,
+		// Join of a node that is already part of the grid.
+		`{"nodes":[{"name":"a","speed":1},{"name":"b","speed":1}],
+		  "churn":{"events":[{"t":1,"node":"a","kind":"crash"},{"t":2,"node":"a","kind":"join"}]}}`,
+		// Trace specs and link overrides, valid and broken.
+		`{"nodes":[{"name":"a","speed":1,"load":{"kind":"sine","base":0.2,"amp":0.1,"period":60}}]}`,
+		`{"nodes":[{"name":"a","speed":1,"load":{"kind":"walk"}}]}`,
+		`{"nodes":[{"name":"a","speed":0}]}`,
+		`{"nodes":[{"name":"a","speed":1},{"name":"a","speed":1}]}`,
+		`{"bogus":1}`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		cfg, err := LoadConfig(strings.NewReader(in))
+		if err != nil {
+			return // malformed JSON must simply error
+		}
+		// Keep the fuzzer away from resource blow-ups that are not
+		// interesting here: huge node counts allocate an n^2 link
+		// matrix, and stochastic traces pre-sample horizon/dt points.
+		if len(cfg.Nodes) > 64 {
+			t.Skip("node count out of fuzz scope")
+		}
+		for _, ns := range cfg.Nodes {
+			if ns.Load != nil && ns.Load.Dt > 0 && ns.Load.Horizon/ns.Load.Dt > 1e6 {
+				t.Skip("trace resolution out of fuzz scope")
+			}
+		}
+		g, err := cfg.Build()
+		if err != nil {
+			return // invalid configs must error cleanly, never panic
+		}
+		// A successfully built grid with churn must have a coherent
+		// schedule: validation against the grid already passed.
+		if cs := g.Churn(); cs != nil {
+			if err := cs.ValidateAgainst(g); err != nil {
+				t.Fatalf("built grid carries an invalid schedule: %v", err)
+			}
+			cs.MeanAvailability(g, 100) // must not panic either
+		}
+	})
+}

@@ -12,6 +12,9 @@ type Grid struct {
 	// links[i][j] is the link from node i to node j; links[i][i] is
 	// LocalLink.
 	links [][]Link
+	// churn is the optional node-lifecycle script attached to this
+	// grid's scenario (see lifecycle.go); the executor replays it.
+	churn *ChurnSchedule
 }
 
 // NewGrid assembles a grid from nodes, assigning IDs in order, with
@@ -113,6 +116,30 @@ func (g *Grid) SetLinkOneWay(a, b NodeID, l Link) error {
 	}
 	g.links[a][b] = l
 	return nil
+}
+
+// SetChurn attaches a node-lifecycle schedule to the grid's scenario
+// after validating that every event names a node of this grid. A nil
+// schedule detaches churn.
+func (g *Grid) SetChurn(cs *ChurnSchedule) error {
+	if cs != nil {
+		if err := cs.ValidateAgainst(g); err != nil {
+			return err
+		}
+	}
+	g.churn = cs
+	return nil
+}
+
+// Churn returns the attached lifecycle schedule, or nil.
+func (g *Grid) Churn() *ChurnSchedule { return g.churn }
+
+// ResetLifecycle returns every node to Up — the start-of-run state
+// before a churn schedule's initial joins are applied.
+func (g *Grid) ResetLifecycle() {
+	for _, n := range g.nodes {
+		n.state = Up
+	}
 }
 
 // TransferDuration returns the time to move bytes from node a to node b

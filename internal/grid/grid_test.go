@@ -170,10 +170,10 @@ func TestServiceDurationPanicsOnNegativeWork(t *testing.T) {
 	n.ServiceDuration(-1, 0)
 }
 
-func TestServiceDurationSurvivesOutage(t *testing.T) {
+func TestServiceDurationSurvivesSaturation(t *testing.T) {
 	n := &Node{
 		Speed: 1, Cores: 1,
-		Load: Outage(trace.Constant(0), 0, 5),
+		Load: Saturate(trace.Constant(0), 0, 5),
 	}
 	// 1 unit of work starting inside the outage: stalls (speed 0.02)
 	// until t=5 then runs at full speed. Progress during outage is
@@ -249,15 +249,15 @@ func TestMultiSite(t *testing.T) {
 	}
 }
 
-func TestOutageTrace(t *testing.T) {
-	tr := Outage(trace.Constant(0.1), 10, 20)
+func TestSaturateTrace(t *testing.T) {
+	tr := Saturate(trace.Constant(0.1), 10, 20)
 	if tr.At(5) != 0.1 || tr.At(25) != 0.1 {
 		t.Fatal("outside outage should be base")
 	}
 	if tr.At(10) != trace.MaxLoad || tr.At(19.99) != trace.MaxLoad {
 		t.Fatal("inside outage should be MaxLoad")
 	}
-	if Outage(nil, 0, 1).At(2) != 0 {
+	if Saturate(nil, 0, 1).At(2) != 0 {
 		t.Fatal("nil base should default to idle")
 	}
 }

@@ -1,0 +1,200 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"gridpipe/internal/trace"
+)
+
+func TestNodeStateZeroValueIsUp(t *testing.T) {
+	n := &Node{Name: "a", Speed: 1, Cores: 1}
+	if n.State() != Up || !n.Available() {
+		t.Fatalf("fresh node state = %v", n.State())
+	}
+	n.SetState(Down)
+	if n.Available() {
+		t.Fatal("down node reports available")
+	}
+	if Up.String() != "up" || Draining.String() != "draining" || Down.String() != "down" {
+		t.Fatal("state names wrong")
+	}
+}
+
+func TestChurnScheduleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []ChurnEvent
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"crash+rejoin", Outage("a", 1, 2), true},
+		{"join", []ChurnEvent{Join("a", 5)}, true},
+		{"drain", []ChurnEvent{Drain("a", 5)}, true},
+		{"crash of draining node", []ChurnEvent{Drain("a", 1), {T: 2, Node: "a", Kind: ChurnCrash}}, true},
+		{"two disjoint outages", append(Outage("a", 1, 2), Outage("a", 3, 4)...), true},
+		{"overlapping outages", []ChurnEvent{
+			{T: 1, Node: "a", Kind: ChurnCrash}, {T: 2, Node: "a", Kind: ChurnCrash}}, false},
+		{"rejoin before crash", []ChurnEvent{{T: 1, Node: "a", Kind: ChurnRejoin}}, false},
+		{"join of existing node", []ChurnEvent{
+			{T: 1, Node: "a", Kind: ChurnCrash}, {T: 2, Node: "a", Kind: ChurnJoin}}, false},
+		{"rejoin of never-up node", []ChurnEvent{Join("a", 5), {T: 1, Node: "a", Kind: ChurnDrain}}, false},
+		{"drain of down node", []ChurnEvent{
+			{T: 1, Node: "a", Kind: ChurnCrash}, {T: 2, Node: "a", Kind: ChurnDrain}}, false},
+		{"empty node name", []ChurnEvent{{T: 1, Kind: ChurnCrash}}, false},
+		{"negative time", []ChurnEvent{{T: -1, Node: "a", Kind: ChurnCrash}}, false},
+		{"NaN time", []ChurnEvent{{T: math.NaN(), Node: "a", Kind: ChurnCrash}}, false},
+		{"unknown kind", []ChurnEvent{{T: 1, Node: "a", Kind: ChurnKind(99)}}, false},
+	}
+	for _, c := range cases {
+		_, err := NewChurnSchedule(c.evs...)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid schedule accepted", c.name)
+		}
+	}
+}
+
+func TestChurnScheduleSortsStably(t *testing.T) {
+	cs, err := NewChurnSchedule(
+		ChurnEvent{T: 5, Node: "b", Kind: ChurnCrash},
+		ChurnEvent{T: 1, Node: "a", Kind: ChurnCrash},
+		ChurnEvent{T: 5, Node: "a", Kind: ChurnRejoin},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := cs.Events()
+	if evs[0].Node != "a" || evs[1].Node != "b" || evs[2].Node != "a" {
+		t.Fatalf("sort order wrong: %v", evs)
+	}
+}
+
+func TestInitiallyDown(t *testing.T) {
+	cs, err := NewChurnSchedule(
+		Join("fresh", 10),
+		ChurnEvent{T: 1, Node: "old", Kind: ChurnCrash},
+		ChurnEvent{T: 2, Node: "old", Kind: ChurnRejoin},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := cs.InitiallyDown()
+	if len(down) != 1 || down[0] != "fresh" {
+		t.Fatalf("InitiallyDown = %v, want [fresh]", down)
+	}
+}
+
+func TestChurnValidateAgainstGrid(t *testing.T) {
+	g := mustGrid(Homogeneous(2, 1, LANLink))
+	ok, err := NewChurnSchedule(Outage("node1", 1, 2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.ValidateAgainst(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetChurn(ok); err != nil {
+		t.Fatal(err)
+	}
+	if g.Churn() != ok {
+		t.Fatal("schedule not attached")
+	}
+	bad, err := NewChurnSchedule(Outage("ghost", 1, 2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetChurn(bad); err == nil {
+		t.Fatal("crash of unknown node accepted")
+	}
+}
+
+func TestResetLifecycle(t *testing.T) {
+	g := mustGrid(Homogeneous(2, 1, LANLink))
+	g.Node(0).SetState(Down)
+	g.Node(1).SetState(Draining)
+	g.ResetLifecycle()
+	for _, n := range g.Nodes() {
+		if n.State() != Up {
+			t.Fatalf("node %s state %v after reset", n.Name, n.State())
+		}
+	}
+}
+
+func TestAvailability(t *testing.T) {
+	cs, err := NewChurnSchedule(append(Outage("a", 25, 75), Join("b", 50))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cs.Availability("a", 100); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("a availability = %v, want 0.5", got)
+	}
+	if got := cs.Availability("b", 100); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("b availability = %v, want 0.5", got)
+	}
+	if got := cs.Availability("untouched", 100); got != 1 {
+		t.Fatalf("untouched availability = %v, want 1", got)
+	}
+	g := mustGrid(Heterogeneous([]float64{1, 1}, LANLink))
+	g.Nodes()[0].Name, g.Nodes()[1].Name = "a", "b"
+	if got := cs.MeanAvailability(g, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("mean availability = %v, want 0.5", got)
+	}
+}
+
+func TestOutagePanicsOnEmptyWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on inverted window")
+		}
+	}()
+	Outage("a", 5, 5)
+}
+
+func TestRandomChurnDeterministicAndValid(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	cs1, err := RandomChurn(42, 100, names, 0.8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2, err := RandomChurn(42, 100, names, 0.8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := cs1.Events(), cs2.Events()
+	if len(e1) != len(e2) {
+		t.Fatalf("same seed, different event counts: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("same seed diverged at event %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	// The first node is the designated survivor.
+	for _, ev := range e1 {
+		if ev.Node == "a" {
+			t.Fatal("RandomChurn churned the designated survivor")
+		}
+	}
+	if _, err := RandomChurn(1, -5, names, 0.5, 1); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+	if _, err := RandomChurn(1, 5, names, 0.5, 0); err == nil {
+		t.Fatal("zero mean downtime accepted")
+	}
+}
+
+func TestQuietClearsLoad(t *testing.T) {
+	tr := Quiet(trace.Constant(0.6), 10, 20)
+	if tr.At(5) != 0.6 || tr.At(25) != 0.6 {
+		t.Fatal("outside window should be base load")
+	}
+	if tr.At(10) != 0 || tr.At(19.99) != 0 {
+		t.Fatal("inside window should be idle")
+	}
+	if Quiet(nil, 0, 1).At(0.5) != 0 {
+		t.Fatal("nil base should default to idle")
+	}
+}

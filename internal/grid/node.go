@@ -43,7 +43,23 @@ type Node struct {
 	// Quantum is the service-time integration step; zero means
 	// DefaultQuantum.
 	Quantum float64
+
+	// state is the node's run-time availability (zero value Up). It is
+	// mutated by the executor's churn driver; a grid must not be shared
+	// by concurrently running executors.
+	state NodeState
 }
+
+// State returns the node's current availability.
+func (n *Node) State() NodeState { return n.state }
+
+// SetState transitions the node's availability. The executor's churn
+// driver is the intended caller; it keeps the routing/search layers in
+// sync with the transition.
+func (n *Node) SetState(s NodeState) { n.state = s }
+
+// Available reports whether the node accepts new work (state Up).
+func (n *Node) Available() bool { return n.state == Up }
 
 // EffectiveSpeed returns the instantaneous processing rate at time t in
 // reference-seconds of work per second.

@@ -136,6 +136,18 @@ func (m Mapping) Equal(o Mapping) bool {
 	return true
 }
 
+// UsesNode reports whether any stage is placed on the given node.
+func (m Mapping) UsesNode(id grid.NodeID) bool {
+	for _, nodes := range m.Assign {
+		for _, n := range nodes {
+			if n == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // NodesUsed returns the distinct nodes the mapping touches.
 func (m Mapping) NodesUsed() []grid.NodeID {
 	seen := map[grid.NodeID]bool{}
@@ -187,9 +199,25 @@ const EnumerationLimit = 1 << 20
 // EnumerationLimit; larger spaces must use the heuristic searches in
 // internal/sched.
 func EnumerateAll(ns, np int) []Mapping {
-	if ns <= 0 || np <= 0 {
+	if np <= 0 {
 		panic("model: EnumerateAll with non-positive dimensions")
 	}
+	nodes := make([]grid.NodeID, np)
+	for i := range nodes {
+		nodes[i] = grid.NodeID(i)
+	}
+	return EnumerateOver(ns, nodes)
+}
+
+// EnumerateOver returns every unreplicated mapping of ns stages onto
+// the given candidate nodes (len(nodes)^ns mappings) — the restricted
+// enumeration the fault-aware search uses to exclude Down nodes. It
+// panics if the count would exceed EnumerationLimit.
+func EnumerateOver(ns int, nodes []grid.NodeID) []Mapping {
+	if ns <= 0 || len(nodes) == 0 {
+		panic("model: EnumerateOver with non-positive dimensions")
+	}
+	np := len(nodes)
 	count := 1
 	for i := 0; i < ns; i++ {
 		count *= np
@@ -205,8 +233,8 @@ func EnumerateAll(ns, np int) []Mapping {
 			out = append(out, FromNodes(assign...))
 			return
 		}
-		for n := 0; n < np; n++ {
-			assign[i] = grid.NodeID(n)
+		for _, n := range nodes {
+			assign[i] = n
 			rec(i + 1)
 		}
 	}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"testing"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+)
+
+// availStrategies are every built-in strategy with availability
+// support (ForLatency is exercised separately — it needs a rate).
+func availStrategies() []AvailSearcher {
+	return []AvailSearcher{Exhaustive{}, ContiguousDP{}, Greedy{}, LocalSearch{Seed: 3}}
+}
+
+func usesOnly(m model.Mapping, avail []bool) bool {
+	for _, nodes := range m.Assign {
+		for _, n := range nodes {
+			if !avail[n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestSearchAvailExcludesDownNodes: no strategy may place a stage on
+// an unavailable node, even when it is by far the fastest.
+func TestSearchAvailExcludesDownNodes(t *testing.T) {
+	g, err := grid.Heterogeneous([]float64{1, 8, 1}, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(3, 0.2, 1e5)
+	avail := []bool{true, false, true} // the 8× node is down
+
+	for _, s := range availStrategies() {
+		m, pred, err := s.SearchAvail(g, spec, nil, avail)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if !usesOnly(m, avail) {
+			t.Fatalf("%s mapped onto a down node: %s", s.Name(), m)
+		}
+		if pred.Throughput <= 0 {
+			t.Fatalf("%s: non-positive prediction", s.Name())
+		}
+	}
+
+	lm, _, err := (ForLatency{Rate: 1}).SearchAvail(g, spec, nil, avail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usesOnly(lm, avail) {
+		t.Fatalf("for-latency mapped onto a down node: %s", lm)
+	}
+}
+
+// TestSearchAvailNilMatchesSearch: a nil mask must reproduce the plain
+// search exactly (the controller passes nil while all nodes are up, so
+// no-churn runs stay bit-identical).
+func TestSearchAvailNilMatchesSearch(t *testing.T) {
+	g, err := grid.Heterogeneous([]float64{1, 2, 1.5, 1}, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(4, 0.2, 1e5)
+	for _, s := range availStrategies() {
+		m1, p1, err := s.Search(g, spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, p2, err := s.SearchAvail(g, spec, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m1.Equal(m2) || p1.Throughput != p2.Throughput {
+			t.Fatalf("%s: nil-mask search diverged: %s vs %s", s.Name(), m1, m2)
+		}
+	}
+}
+
+// TestSearchAvailErrors: an all-false or mis-sized mask fails cleanly.
+func TestSearchAvailErrors(t *testing.T) {
+	g, err := grid.Heterogeneous([]float64{1, 1}, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(2, 0.1, 1e4)
+	for _, s := range availStrategies() {
+		if _, _, err := s.SearchAvail(g, spec, nil, []bool{false, false}); err == nil {
+			t.Fatalf("%s: all-down mask should fail", s.Name())
+		}
+		if _, _, err := s.SearchAvail(g, spec, nil, []bool{true}); err == nil {
+			t.Fatalf("%s: mis-sized mask should fail", s.Name())
+		}
+	}
+}
+
+// plainSearcher implements only Searcher, never AvailSearcher.
+type plainSearcher struct{}
+
+func (plainSearcher) Name() string { return "plain" }
+func (plainSearcher) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	m := model.SingleNode(spec.NumStages(), 0)
+	p, err := model.Predict(g, spec, m, loads)
+	return m, p, err
+}
+
+// TestSearchAvailableRequiresAvailSearcher: a mask that excludes nodes
+// must error loudly for a strategy without availability support
+// instead of silently searching the full grid; nil and all-true masks
+// still fall back to the plain search.
+func TestSearchAvailableRequiresAvailSearcher(t *testing.T) {
+	g, err := grid.Homogeneous(2, 1, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(2, 0.1, 1e4)
+	if _, _, err := SearchAvailable(plainSearcher{}, g, spec, nil, nil); err != nil {
+		t.Fatalf("nil mask: %v", err)
+	}
+	if _, _, err := SearchAvailable(plainSearcher{}, g, spec, nil, []bool{true, true}); err != nil {
+		t.Fatalf("all-true mask: %v", err)
+	}
+	if _, _, err := SearchAvailable(plainSearcher{}, g, spec, nil, []bool{true, false}); err == nil {
+		t.Fatal("excluding mask silently ignored by a non-AvailSearcher strategy")
+	}
+}
+
+// TestImproveWithReplicationAvail: replicas only land on available
+// nodes.
+func TestImproveWithReplicationAvail(t *testing.T) {
+	g, err := grid.Homogeneous(4, 1, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(2, 0.3, 1e4)
+	spec.Stages[1].Work = 1.2 // heavy replicable bottleneck
+	avail := []bool{true, true, false, true}
+	m, _, err := ImproveWithReplicationAvail(g, spec, model.FromNodes(0, 1), nil, 0, avail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usesOnly(m, avail) {
+		t.Fatalf("replication used a down node: %s", m)
+	}
+	if len(m.Assign[1]) < 2 {
+		t.Fatalf("bottleneck not replicated: %s", m)
+	}
+}
+
+// TestSearchAvailSingleSurvivor: with one live node every strategy
+// must collapse the whole pipeline onto it.
+func TestSearchAvailSingleSurvivor(t *testing.T) {
+	g, err := grid.Heterogeneous([]float64{1, 2, 3}, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(3, 0.1, 1e4)
+	avail := []bool{false, true, false}
+	for _, s := range availStrategies() {
+		m, _, err := s.SearchAvail(g, spec, nil, avail)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for si, nodes := range m.Assign {
+			if len(nodes) != 1 || nodes[0] != 1 {
+				t.Fatalf("%s: stage %d not on the lone survivor: %s", s.Name(), si, m)
+			}
+		}
+	}
+}

@@ -36,9 +36,18 @@ func (ForLatency) Name() string { return "for-latency" }
 // with the other strategies); the latency objective is available via
 // model.PredictLatency.
 func (l ForLatency) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	return l.SearchAvail(g, spec, loads, nil)
+}
+
+// SearchAvail implements AvailSearcher: moves never target unavailable
+// nodes.
+func (l ForLatency) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
 	ns, np := spec.NumStages(), g.NumNodes()
 	if ns == 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
+	}
+	if _, err := checkAvail(g, avail); err != nil {
+		return model.Mapping{}, model.Prediction{}, err
 	}
 	if l.Rate <= 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: ForLatency needs a positive rate")
@@ -59,7 +68,7 @@ func (l ForLatency) Search(g *grid.Grid, spec model.PipelineSpec, loads []float6
 
 	// Start from the throughput-greedy solution: it spreads load, which
 	// is usually feasible.
-	cur, _, err := (Greedy{}).Search(g, spec, loads)
+	cur, _, err := (Greedy{}).SearchAvail(g, spec, loads, avail)
 	if err != nil {
 		return model.Mapping{}, model.Prediction{}, err
 	}
@@ -70,7 +79,7 @@ func (l ForLatency) Search(g *grid.Grid, spec model.PipelineSpec, loads []float6
 		for si := 0; si < ns; si++ {
 			orig := cur.Assign[si][0]
 			for n := 0; n < np; n++ {
-				if grid.NodeID(n) == orig {
+				if grid.NodeID(n) == orig || !usable(avail, n) {
 					continue
 				}
 				cur.Assign[si][0] = grid.NodeID(n)

@@ -39,6 +39,72 @@ type Searcher interface {
 	Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error)
 }
 
+// AvailSearcher is a strategy that can restrict its search to a subset
+// of available nodes — the fault-aware variant the adaptive controller
+// uses under node churn. avail[n] false excludes node n from every
+// candidate mapping; nil means all nodes are available. Every built-in
+// strategy implements it.
+type AvailSearcher interface {
+	Searcher
+	SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error)
+}
+
+// SearchAvailable dispatches a search with an availability mask. A nil
+// or all-true mask falls back to the plain search. A mask that
+// actually excludes nodes requires the strategy to implement
+// AvailSearcher (all built-ins do): silently ignoring the exclusion
+// would let a "fault-aware" remap re-select a crashed node, so that
+// case errors instead.
+func SearchAvailable(s Searcher, g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
+	excludes := false
+	for _, ok := range avail {
+		if !ok {
+			excludes = true
+			break
+		}
+	}
+	if excludes {
+		as, ok := s.(AvailSearcher)
+		if !ok {
+			return model.Mapping{}, model.Prediction{}, fmt.Errorf(
+				"sched: strategy %q cannot exclude unavailable nodes (does not implement AvailSearcher)", s.Name())
+		}
+		return as.SearchAvail(g, spec, loads, avail)
+	}
+	return s.Search(g, spec, loads)
+}
+
+// checkAvail validates a mask against the grid and returns the list of
+// available node IDs (nil mask = every node).
+func checkAvail(g *grid.Grid, avail []bool) ([]grid.NodeID, error) {
+	np := g.NumNodes()
+	if avail == nil {
+		ids := make([]grid.NodeID, np)
+		for i := range ids {
+			ids[i] = grid.NodeID(i)
+		}
+		return ids, nil
+	}
+	if len(avail) != np {
+		return nil, fmt.Errorf("sched: availability mask covers %d nodes, grid has %d", len(avail), np)
+	}
+	var ids []grid.NodeID
+	for i, ok := range avail {
+		if ok {
+			ids = append(ids, grid.NodeID(i))
+		}
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("sched: no nodes available")
+	}
+	return ids, nil
+}
+
+// usable reports whether node n may host stages under the mask.
+func usable(avail []bool, n int) bool {
+	return avail == nil || avail[n]
+}
+
 // Exhaustive enumerates all np^ns unreplicated mappings. Only feasible
 // for small pipelines; it is the ground truth the other strategies are
 // judged against.
@@ -48,17 +114,27 @@ type Exhaustive struct{}
 func (Exhaustive) Name() string { return "exhaustive" }
 
 // Search implements Searcher.
-func (Exhaustive) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
-	ns, np := spec.NumStages(), g.NumNodes()
+func (s Exhaustive) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	return s.SearchAvail(g, spec, loads, nil)
+}
+
+// SearchAvail implements AvailSearcher: enumeration runs over the
+// available nodes only.
+func (Exhaustive) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
+	ns := spec.NumStages()
 	if ns <= 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
 	}
-	// Refuse obviously explosive spaces before enumerating.
-	if float64(ns)*math.Log(float64(np)) > math.Log(model.EnumerationLimit) {
-		return model.Mapping{}, model.Prediction{}, fmt.Errorf(
-			"sched: exhaustive search over %d^%d mappings is infeasible", np, ns)
+	ids, err := checkAvail(g, avail)
+	if err != nil {
+		return model.Mapping{}, model.Prediction{}, err
 	}
-	cands := model.EnumerateAll(ns, np)
+	// Refuse obviously explosive spaces before enumerating.
+	if float64(ns)*math.Log(float64(len(ids))) > math.Log(model.EnumerationLimit) {
+		return model.Mapping{}, model.Prediction{}, fmt.Errorf(
+			"sched: exhaustive search over %d^%d mappings is infeasible", len(ids), ns)
+	}
+	cands := model.EnumerateOver(ns, ids)
 	idx, pred, err := model.Best(g, spec, cands, loads)
 	if err != nil {
 		return model.Mapping{}, model.Prediction{}, err
@@ -84,10 +160,19 @@ type ContiguousDP struct{}
 func (ContiguousDP) Name() string { return "contiguous-dp" }
 
 // Search implements Searcher.
-func (ContiguousDP) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+func (s ContiguousDP) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	return s.SearchAvail(g, spec, loads, nil)
+}
+
+// SearchAvail implements AvailSearcher: unavailable nodes never host a
+// group (they are "skipped over" in the node sequence).
+func (ContiguousDP) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
 	ns, np := spec.NumStages(), g.NumNodes()
 	if ns == 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
+	}
+	if _, err := checkAvail(g, avail); err != nil {
+		return model.Mapping{}, model.Prediction{}, err
 	}
 	eff := effectiveSpeeds(g, loads)
 
@@ -120,6 +205,9 @@ func (ContiguousDP) Search(g *grid.Grid, spec model.PipelineSpec, loads []float6
 			if dp[i][j-1] < dp[i][j] {
 				dp[i][j] = dp[i][j-1]
 				cut[i][j] = -1 // marker: node j-1 unused
+			}
+			if !usable(avail, j-1) {
+				continue // a down node can only be skipped over
 			}
 			for k := 0; k < i; k++ {
 				if dp[k][j-1] == inf {
@@ -169,10 +257,19 @@ type Greedy struct{}
 func (Greedy) Name() string { return "greedy" }
 
 // Search implements Searcher.
-func (Greedy) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+func (s Greedy) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	return s.SearchAvail(g, spec, loads, nil)
+}
+
+// SearchAvail implements AvailSearcher: unavailable nodes are never
+// placement candidates.
+func (Greedy) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
 	ns, np := spec.NumStages(), g.NumNodes()
 	if ns == 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
+	}
+	if _, err := checkAvail(g, avail); err != nil {
+		return model.Mapping{}, model.Prediction{}, err
 	}
 	eff := effectiveSpeeds(g, loads)
 
@@ -193,6 +290,9 @@ func (Greedy) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (mo
 	for _, si := range order {
 		best, bestBusy := -1, math.Inf(1)
 		for n := 0; n < np; n++ {
+			if !usable(avail, n) {
+				continue
+			}
 			b := busy[n] + spec.Stages[si].Work/eff[n]/float64(g.Node(grid.NodeID(n)).Cores)
 			if b < bestBusy {
 				best, bestBusy = n, b
@@ -227,9 +327,19 @@ func (LocalSearch) Name() string { return "local-search" }
 
 // Search implements Searcher.
 func (l LocalSearch) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (model.Mapping, model.Prediction, error) {
+	return l.SearchAvail(g, spec, loads, nil)
+}
+
+// SearchAvail implements AvailSearcher: the climb's move set and the
+// random restarts draw from the available nodes only.
+func (l LocalSearch) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
 	ns, np := spec.NumStages(), g.NumNodes()
 	if ns == 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
+	}
+	ids, err := checkAvail(g, avail)
+	if err != nil {
+		return model.Mapping{}, model.Prediction{}, err
 	}
 	restarts := l.Restarts
 	if restarts <= 0 {
@@ -252,7 +362,7 @@ func (l LocalSearch) Search(g *grid.Grid, spec model.PipelineSpec, loads []float
 			for si := 0; si < ns; si++ {
 				orig := cur.Assign[si][0]
 				for n := 0; n < np; n++ {
-					if grid.NodeID(n) == orig {
+					if grid.NodeID(n) == orig || !usable(avail, n) {
 						continue
 					}
 					cur.Assign[si][0] = grid.NodeID(n)
@@ -278,7 +388,7 @@ func (l LocalSearch) Search(g *grid.Grid, spec model.PipelineSpec, loads []float
 	}
 
 	bestM, bestP, err := func() (model.Mapping, model.Prediction, error) {
-		gm, _, err := (Greedy{}).Search(g, spec, loads)
+		gm, _, err := (Greedy{}).SearchAvail(g, spec, loads, avail)
 		if err != nil {
 			return model.Mapping{}, model.Prediction{}, err
 		}
@@ -290,7 +400,7 @@ func (l LocalSearch) Search(g *grid.Grid, spec model.PipelineSpec, loads []float
 	for rs := 0; rs < restarts; rs++ {
 		assign := make([]grid.NodeID, ns)
 		for i := range assign {
-			assign[i] = grid.NodeID(r.Intn(np))
+			assign[i] = ids[r.Intn(len(ids))]
 		}
 		m, p, err := climb(model.FromNodes(assign...))
 		if err != nil {
@@ -322,6 +432,18 @@ func effectiveSpeeds(g *grid.Grid, loads []float64) []float64 {
 // width (0 means the grid size). This is the planning primitive behind
 // the adaptivity engine's replicate action and experiment F4.
 func ImproveWithReplication(g *grid.Grid, spec model.PipelineSpec, m model.Mapping, loads []float64, maxReplicas int) (model.Mapping, model.Prediction, error) {
+	return ImproveWithReplicationAvail(g, spec, m, loads, maxReplicas, nil)
+}
+
+// ImproveWithReplicationAvail is ImproveWithReplication restricted to
+// the available nodes: replicas are never placed on Down or Draining
+// nodes. A nil mask allows every node.
+func ImproveWithReplicationAvail(g *grid.Grid, spec model.PipelineSpec, m model.Mapping, loads []float64, maxReplicas int, avail []bool) (model.Mapping, model.Prediction, error) {
+	if avail != nil {
+		if _, err := checkAvail(g, avail); err != nil {
+			return model.Mapping{}, model.Prediction{}, err
+		}
+	}
 	if maxReplicas <= 0 {
 		maxReplicas = g.NumNodes()
 	}
@@ -353,7 +475,7 @@ func ImproveWithReplication(g *grid.Grid, spec model.PipelineSpec, m model.Mappi
 		bestN := grid.NodeID(-1)
 		for n := 0; n < g.NumNodes(); n++ {
 			id := grid.NodeID(n)
-			if onNode(cur.Assign[si], id) {
+			if onNode(cur.Assign[si], id) || !usable(avail, n) {
 				continue
 			}
 			trial := cur.WithReplicas(si, append(append([]grid.NodeID{}, cur.Assign[si]...), id)...)

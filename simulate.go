@@ -55,6 +55,44 @@ func (s *SimGrid) NumNodes() int { return s.g.NumNodes() }
 // Describe renders a human-readable summary.
 func (s *SimGrid) Describe() string { return s.g.String() }
 
+// ChurnEvent is one scheduled node-lifecycle transition for WithChurn.
+// Kind is one of "crash", "rejoin", "join", "drain":
+//
+//   - crash takes an Up node Down abruptly — its in-flight work is
+//     lost and re-dispatched from the last stage boundary;
+//   - rejoin brings a crashed node back;
+//   - join brings a declared-but-absent node into the grid for the
+//     first time (it is excluded from the deployment mapping and folded
+//     in by the adaptive controller once it joins);
+//   - drain retires a node gracefully: it finishes accepted work but
+//     takes no new items.
+type ChurnEvent struct {
+	T    float64
+	Node string
+	Kind string
+}
+
+// WithChurn attaches a node-lifecycle schedule to the grid's scenario.
+// Events are validated as a per-node state machine (crash of an
+// unknown or already-down node, rejoin before a crash, and so on all
+// error); Simulate then replays the schedule in virtual time. Calling
+// WithChurn again replaces the schedule.
+func (s *SimGrid) WithChurn(events ...ChurnEvent) error {
+	evs := make([]grid.ChurnEvent, len(events))
+	for i, ev := range events {
+		kind, err := grid.ParseChurnKind(ev.Kind)
+		if err != nil {
+			return err
+		}
+		evs[i] = grid.ChurnEvent{T: ev.T, Node: ev.Node, Kind: kind}
+	}
+	cs, err := grid.NewChurnSchedule(evs...)
+	if err != nil {
+		return err
+	}
+	return s.g.SetChurn(cs)
+}
+
 // Policy names accepted by SimOptions.
 const (
 	PolicyStatic     = "static"
@@ -101,6 +139,9 @@ type SimOptions struct {
 	// KillRestart switches the remap protocol from the default
 	// drain-safe.
 	KillRestart bool
+	// MaxRetries is the per-item crash-retry budget under churn: 0
+	// means the default (8), negative means never drop items.
+	MaxRetries int
 }
 
 // SimReport is the outcome of one simulated run.
@@ -115,8 +156,19 @@ type SimReport struct {
 	MeanLatency float64
 	// Remaps is how many reconfigurations the controller performed.
 	Remaps int
+	// FaultRemaps counts remaps forced by node crashes (subset of
+	// Remaps).
+	FaultRemaps int
 	// Migrations is how many queued items remaps moved.
 	Migrations int
+	// Lost is the number of items dropped after exhausting their
+	// crash-retry budget; Retries counts crash-induced re-dispatches.
+	// Both are zero without churn.
+	Lost    int
+	Retries int
+	// MeanAvailability is the node-averaged Up fraction of the grid
+	// over the run under the churn schedule (1 without churn).
+	MeanAvailability float64
 	// InitialMapping and FinalMapping are tuple renderings of the
 	// deployment-time and end-of-run mappings.
 	InitialMapping, FinalMapping string
@@ -143,11 +195,19 @@ func (p *Pipeline) Simulate(sg *SimGrid, opts SimOptions) (SimReport, error) {
 	spec := p.spec
 	spec.InBytes = opts.InBytes
 
-	m0, _, err := (sched.LocalSearch{Seed: opts.Seed}).Search(sg.g, spec, nil)
+	// The deployment-time mapping may only use nodes that exist at t=0:
+	// churn-scheduled late joiners are excluded and folded in by the
+	// controller once they join.
+	var avail []bool
+	churn := sg.g.Churn()
+	if churn != nil {
+		avail = churn.InitialAvail(sg.g)
+	}
+	m0, _, err := sched.SearchAvailable(sched.LocalSearch{Seed: opts.Seed}, sg.g, spec, nil, avail)
 	if err != nil {
 		return SimReport{}, err
 	}
-	m0, pred, err := sched.ImproveWithReplication(sg.g, spec, m0, nil, 0)
+	m0, pred, err := sched.ImproveWithReplicationAvail(sg.g, spec, m0, nil, 0, avail)
 	if err != nil {
 		return SimReport{}, err
 	}
@@ -158,8 +218,12 @@ func (p *Pipeline) Simulate(sg *SimGrid, opts SimOptions) (SimReport, error) {
 		MaxInFlight: 4 * spec.NumStages(),
 		WorkSampler: app.Sampler(opts.Seed),
 		Seed:        opts.Seed,
+		MaxRetries:  opts.MaxRetries,
 	})
 	if err != nil {
+		return SimReport{}, err
+	}
+	if err := ex.InstallChurn(churn); err != nil {
 		return SimReport{}, err
 	}
 	proto := exec.DrainSafe
@@ -188,7 +252,7 @@ func (p *Pipeline) Simulate(sg *SimGrid, opts SimOptions) (SimReport, error) {
 			return SimReport{}, err
 		}
 		rep.Makespan = ms
-		rep.Done = opts.Items
+		rep.Done = ex.Done()
 		elapsed = ms
 	} else {
 		rep.Done = ex.RunUntil(opts.Duration)
@@ -208,7 +272,14 @@ func (p *Pipeline) Simulate(sg *SimGrid, opts SimOptions) (SimReport, error) {
 	}
 	st := ctrl.Stats()
 	rep.Remaps = st.Remaps
+	rep.FaultRemaps = st.FaultRemaps
 	rep.Migrations = ex.Migrations()
+	rep.Lost = ex.Lost()
+	rep.Retries = ex.Retries()
+	rep.MeanAvailability = 1
+	if churn != nil && elapsed > 0 {
+		rep.MeanAvailability = churn.MeanAvailability(sg.g, elapsed)
+	}
 	rep.FinalMapping = ex.Mapping().String()
 	return rep, nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package gridpipe_test
+
+// The examples smoke test propagates the race detector into the
+// example binaries it builds (see examples_smoke_test.go).
+func init() { raceEnabled = true }
