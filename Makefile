@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench-smoke bench bench-json race
+.PHONY: check build vet test bench-smoke bench bench-json alloc-gate race
 
 check: build vet test bench-smoke
 
@@ -28,7 +28,12 @@ bench:
 # Regenerate the machine-readable perf snapshot (see DESIGN.md,
 # "Benchmark protocol"; bump the file number to your PR number).
 bench-json:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_3.json
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_4.json
+
+# Allocation-regression gate (the CI alloc-gate job): fail if any
+# hot-path micro-benchmark allocates per item.
+alloc-gate:
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_4.json -maxallocs 0
 
 race:
 	$(GO) test -race ./...

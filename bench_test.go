@@ -55,6 +55,7 @@ func BenchmarkF7Saturation(b *testing.B)         { benchExperiment(b, "F7") }
 func BenchmarkF8DiamondTopology(b *testing.B)    { benchExperiment(b, "F8") }
 func BenchmarkF9Churn(b *testing.B)              { benchExperiment(b, "F9") }
 func BenchmarkF10ElasticJoin(b *testing.B)       { benchExperiment(b, "F10") }
+func BenchmarkF11LiveAdaptivity(b *testing.B)    { benchExperiment(b, "F11") }
 func BenchmarkT5LatencyModel(b *testing.B)       { benchExperiment(b, "T5") }
 func BenchmarkA1Triggers(b *testing.B)           { benchExperiment(b, "A1") }
 func BenchmarkA2RemapProtocol(b *testing.B)      { benchExperiment(b, "A2") }

@@ -1,22 +1,35 @@
-// Command adaptpipe runs a described pipeline on a described grid in
-// simulation and reports what the adaptivity engine did — the
-// "try your scenario" tool.
+// Command adaptpipe runs a described pipeline on a described grid and
+// reports what the adaptivity engine did — the "try your scenario"
+// tool. By default the pipeline's cost model executes on a simulated
+// grid in virtual time; -live executes the workload's stages as real
+// CPU-bound goroutines on this machine, with the same adaptive
+// controller resizing the per-stage worker pools on a wall clock.
 //
 // Usage:
 //
 //	adaptpipe -workload genome -nodes 8 -policy reactive -duration 300
 //	adaptpipe -workload image -grid grid.json -policy predictive -items 2000
 //	adaptpipe -workload video -nodes 6 -policy static -items 1000 -explain
+//	adaptpipe -live                                 # genome workload, reactive policy
+//	adaptpipe -live -policy predictive -bgload 4    # inject background CPU load mid-run
 //
 // Built-in workloads: image, genome, video (see internal/workload).
+// -live needs no other flags: it defaults to the genome workload
+// (every stage replicable — the interesting case for worker
+// rebalancing). With -bgload it also runs the static baseline and
+// reports the throughput recovery the adaptive policy achieved
+// (experiment F11's scenario, reproducible from the command line).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"gridpipe/internal/adaptive"
+	"gridpipe/internal/adaptive/simadapt"
 	"gridpipe/internal/exec"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
@@ -28,7 +41,7 @@ import (
 
 func main() {
 	var (
-		wl       = flag.String("workload", "image", "workload: image | genome | video")
+		wl       = flag.String("workload", "", "workload: image | genome | video (default: image simulated, genome live)")
 		gridPath = flag.String("grid", "", "grid config JSON (default: -nodes homogeneous LAN)")
 		nodes    = flag.Int("nodes", 8, "homogeneous node count when no -grid is given")
 		policy   = flag.String("policy", "reactive", "static | periodic | reactive | predictive | oracle")
@@ -37,16 +50,61 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "random seed")
 		explain  = flag.Bool("explain", false, "print the model's mapping ranking before running")
 		kill     = flag.Bool("kill-restart", false, "use the kill-restart remap protocol")
+		live     = flag.Bool("live", false, "execute the workload live (real goroutines, wall-clock adaptation)")
+		spike    = flag.Float64("spike", 0.6, "live: background load injected on the heaviest stage's resource mid-run (0..0.95; 0 = none)")
+		bgload   = flag.Int("bgload", 0, "live: additionally start this many in-process CPU hogs at the injection point")
+		workers  = flag.Int("workers", 0, "live: total worker budget (default 16)")
 	)
 	flag.Parse()
-	if err := run(*wl, *gridPath, *nodes, *policy, *items, *duration, *seed, *explain, *kill); err != nil {
+	var err error
+	if *live {
+		err = runLive(*wl, *policy, *items, *spike, *bgload, *workers)
+	} else {
+		err = run(*wl, *gridPath, *nodes, *policy, *items, *duration, *seed, *explain, *kill)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "adaptpipe: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// workloadByName resolves a workload, listing the menu on a miss (the
+// same courtesy pipebench's unknown-experiment path extends).
+func workloadByName(name string) (workload.App, error) {
+	app, err := workload.ByName(name)
+	if err != nil {
+		var names []string
+		for _, a := range workload.All() {
+			names = append(names, a.Name)
+		}
+		return workload.App{}, fmt.Errorf("unknown workload %q; valid workloads: %s",
+			name, strings.Join(names, ", "))
+	}
+	return app, nil
+}
+
+// parsePolicy resolves a policy name, listing the menu on a miss.
+func parsePolicy(name string, live bool) (adaptive.Policy, error) {
+	pol, err := adaptive.ParsePolicy(name)
+	if err != nil {
+		var names []string
+		for _, p := range adaptive.Policies() {
+			names = append(names, p.String())
+		}
+		return 0, fmt.Errorf("unknown policy %q; valid policies: %s",
+			name, strings.Join(names, ", "))
+	}
+	if live && pol == adaptive.PolicyOracle {
+		return 0, fmt.Errorf("policy %q is simulation-only (no ground-truth loads live); valid live policies: static, periodic, reactive, predictive", name)
+	}
+	return pol, nil
+}
+
 func run(wl, gridPath string, nodes int, policyName string, items int, duration float64, seed uint64, explain, kill bool) error {
-	app, err := workload.ByName(wl)
+	if wl == "" {
+		wl = "image"
+	}
+	app, err := workloadByName(wl)
 	if err != nil {
 		return err
 	}
@@ -57,7 +115,7 @@ func run(wl, gridPath string, nodes int, policyName string, items int, duration 
 	if items == 0 && duration == 0 {
 		duration = 300
 	}
-	pol, err := parsePolicy(policyName)
+	pol, err := parsePolicy(policyName, false)
 	if err != nil {
 		return err
 	}
@@ -107,7 +165,7 @@ func run(wl, gridPath string, nodes int, policyName string, items int, duration 
 	if kill {
 		proto = exec.KillRestart
 	}
-	ctrl, err := adaptive.NewController(eng, g, ex, app.Spec, adaptive.Config{
+	ctrl, err := simadapt.New(eng, g, ex, app.Spec, simadapt.Config{
 		Policy: pol, Interval: 1, Protocol: proto,
 		Searcher: sched.LocalSearch{Seed: seed + 1},
 	})
@@ -150,6 +208,83 @@ func run(wl, gridPath string, nodes int, policyName string, items int, duration 
 	return nil
 }
 
+// runLive executes the workload on this machine: each stage occupies
+// its backing resource for its modelled work, and the live adaptive
+// controller rebalances worker pools on a wall clock. One third into
+// the run, -spike lands background load on the heaviest stage's
+// resource (and -bgload starts real CPU hogs); a static baseline then
+// quantifies the recovery the policy bought.
+func runLive(wl, policyName string, items int, spike float64, bgload, budget int) error {
+	if wl == "" {
+		// The sensible live default: every genome stage is replicable,
+		// so worker rebalancing has the whole pipeline to play with.
+		wl = "genome"
+	}
+	app, err := workloadByName(wl)
+	if err != nil {
+		return err
+	}
+	pol, err := parsePolicy(policyName, true)
+	if err != nil {
+		return err
+	}
+	if items <= 0 {
+		items = 2400
+	}
+	if budget <= 0 {
+		budget = 16
+	}
+
+	fmt.Printf("live run: workload %s, policy %s, %d items, budget %d workers on %d CPUs\n",
+		app.Name, pol, items, budget, runtime.NumCPU())
+	if spike > 0 {
+		fmt.Printf("injection at item %d: background load %.2f on the heaviest stage's resource (service ×%.2f)\n",
+			items/3, spike, 1/(1-spike))
+	}
+	if bgload > 0 {
+		fmt.Printf("injection at item %d: %d in-process CPU hogs\n", items/3, bgload)
+	}
+
+	opts := workload.LiveOptions{
+		Policy:     pol,
+		Items:      items,
+		SpikeLoad:  spike,
+		BgLoad:     bgload,
+		MaxWorkers: budget,
+	}
+	out, err := workload.RunLive(app, opts)
+	if err != nil {
+		return err
+	}
+	injected := spike > 0 || bgload > 0
+	printLive := func(r workload.LiveOutcome, label string) {
+		fmt.Printf("\n[%s] %d items in %.2f s — %.1f items/s overall", label, r.Items, r.Elapsed, r.Throughput)
+		if injected {
+			fmt.Printf(" (%.1f before load, %.1f under load)", r.ThroughputBefore, r.ThroughputUnder)
+		}
+		fmt.Printf("\n[%s] %d resizes, final workers %v\n", label, len(r.Events), r.Replicas)
+		for _, ev := range r.Events {
+			fmt.Printf("  t=%5.2fs resize %s -> %s (predicted %.1f -> %.1f items/s)\n",
+				ev.Time, ev.From, ev.To, ev.PredictedOld, ev.PredictedNew)
+		}
+	}
+	printLive(out, pol.String())
+
+	if injected && pol != adaptive.PolicyStatic {
+		opts.Policy = adaptive.PolicyStatic
+		base, err := workload.RunLive(app, opts)
+		if err != nil {
+			return err
+		}
+		printLive(base, "static baseline")
+		if base.ThroughputUnder > 0 {
+			fmt.Printf("\nthroughput under load: %s %.1f vs static %.1f items/s — recovery ×%.2f\n",
+				pol, out.ThroughputUnder, base.ThroughputUnder, out.ThroughputUnder/base.ThroughputUnder)
+		}
+	}
+	return nil
+}
+
 func buildGrid(path string, nodes int) (*grid.Grid, error) {
 	if path == "" {
 		return grid.Homogeneous(nodes, 1, grid.LANLink)
@@ -164,23 +299,6 @@ func buildGrid(path string, nodes int) (*grid.Grid, error) {
 		return nil, err
 	}
 	return cfg.Build()
-}
-
-func parsePolicy(name string) (adaptive.Policy, error) {
-	switch name {
-	case "static":
-		return adaptive.PolicyStatic, nil
-	case "periodic":
-		return adaptive.PolicyPeriodic, nil
-	case "reactive":
-		return adaptive.PolicyReactive, nil
-	case "predictive":
-		return adaptive.PolicyPredictive, nil
-	case "oracle":
-		return adaptive.PolicyOracle, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q", name)
-	}
 }
 
 // explainMappings ranks the search strategies' proposals under the

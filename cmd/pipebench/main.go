@@ -7,18 +7,24 @@
 //	pipebench -list
 //	pipebench -exp F1 [-seed 42] [-csv]
 //	pipebench -all [-seed 42] [-workers N]
-//	pipebench -bench [-benchout BENCH_1.json]
+//	pipebench -bench [-benchout BENCH_1.json] [-maxallocs 0]
 //
 // -all fans the experiments across a bounded worker pool (default one
 // worker per CPU); every experiment seeds its own RNG streams, so the
-// tables are identical to a sequential sweep and print in ID order.
+// tables are identical to a sequential sweep and print in ID order
+// (wall-clock experiments such as F11 run sequentially after the pool
+// drains, so concurrent sweeps cannot pollute their timings).
 //
 // Each experiment prints its tables; -csv additionally dumps every
 // figure series as CSV for offline plotting. -bench runs the hot-path
 // micro-benchmark suite (internal/bench.Micros) and writes a
 // machine-readable BENCH_*.json — ns/op, B/op, allocs/op, items/s per
 // benchmark, plus the recorded seed baseline the current numbers are
-// gated against (format documented in DESIGN.md).
+// gated against (format documented in DESIGN.md). -maxallocs N turns
+// the run into a gate: it exits non-zero if any hot-path benchmark
+// reports more than N allocs/op (the in-tree seed-reference rows,
+// which reproduce the seed's allocating designs on purpose, are
+// exempt) — the CI allocation-regression job runs -maxallocs 0.
 package main
 
 import (
@@ -45,6 +51,7 @@ func main() {
 		outdir   = flag.String("outdir", "", "write every table and series as CSV files into this directory")
 		benchRun = flag.Bool("bench", false, "run the hot-path micro-benchmark suite")
 		benchOut = flag.String("benchout", "BENCH_1.json", "file the -bench results are written to")
+		maxAlloc = flag.Int("maxallocs", -1, "with -bench: fail if any hot-path benchmark exceeds this allocs/op (-1 = no gate)")
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for -all (1 = sequential)")
 	)
 	flag.Parse()
@@ -53,7 +60,7 @@ func main() {
 	case *list:
 		listExperiments(os.Stdout)
 	case *benchRun:
-		if err := runBench(*benchOut); err != nil {
+		if err := runBench(*benchOut, *maxAlloc); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -128,8 +135,9 @@ var seedBaseline = []bench.MicroResult{
 	{Name: "exec/run_items", Desc: "seed executor, per simulated item", NsPerOp: 2663, BytesPerOp: 1456, AllocsPerOp: 37},
 }
 
-// runBench executes the micro suite and writes the JSON report.
-func runBench(out string) error {
+// runBench executes the micro suite, writes the JSON report, and
+// applies the allocation gate (maxAlloc < 0 disables it).
+func runBench(out string, maxAlloc int) error {
 	fmt.Printf("running %d hot-path micro-benchmarks...\n", len(bench.Micros()))
 	rep := benchReport{
 		Bench:        strings.TrimSuffix(filepath.Base(out), ".json"),
@@ -153,6 +161,23 @@ func runBench(out string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	if maxAlloc >= 0 {
+		var over []string
+		for _, m := range rep.Micro {
+			// The seed-reference rows reproduce the seed's allocating
+			// designs on purpose; the gate covers the current hot paths.
+			if strings.Contains(m.Name, "seed") {
+				continue
+			}
+			if m.AllocsPerOp > int64(maxAlloc) {
+				over = append(over, fmt.Sprintf("%s (%d allocs/op)", m.Name, m.AllocsPerOp))
+			}
+		}
+		if len(over) > 0 {
+			return fmt.Errorf("allocation gate (> %d allocs/op): %s", maxAlloc, strings.Join(over, ", "))
+		}
+		fmt.Printf("allocation gate passed: every hot path at ≤ %d allocs/op\n", maxAlloc)
+	}
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"gridpipe/internal/adaptive"
+	"gridpipe/internal/adaptive/simadapt"
 	"gridpipe/internal/exec"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/sched"
@@ -59,7 +60,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ctrl, err := adaptive.NewController(eng, g, ex, app.Spec, adaptive.Config{
+		ctrl, err := simadapt.New(eng, g, ex, app.Spec, simadapt.Config{
 			Policy: pol, Interval: 1,
 			Searcher: sched.LocalSearch{Seed: 2},
 		})

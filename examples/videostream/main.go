@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"gridpipe/internal/adaptive"
+	"gridpipe/internal/adaptive/simadapt"
 	"gridpipe/internal/exec"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
@@ -78,7 +79,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ctrl, err := adaptive.NewController(eng, gl, ex, app.Spec, adaptive.Config{
+		ctrl, err := simadapt.New(eng, gl, ex, app.Spec, simadapt.Config{
 			Policy: pol, Interval: 2,
 			Searcher: sched.LocalSearch{Seed: 2},
 		})

@@ -55,7 +55,10 @@ package gridpipe
 import (
 	"context"
 	"fmt"
+	"time"
 
+	"gridpipe/internal/adaptive"
+	"gridpipe/internal/adaptive/liveadapt"
 	"gridpipe/internal/model"
 	"gridpipe/internal/pipeline"
 	"gridpipe/internal/topo"
@@ -155,6 +158,9 @@ type Pipeline struct {
 	graph *topo.Graph // data-flow over the flattened stages
 	spec  model.PipelineSpec
 	live  *pipeline.Pipeline // built lazily; single-use
+
+	liveCfg  *liveadapt.Config     // set by WithLiveAdaptive
+	liveCtrl *liveadapt.Controller // built when Run starts
 }
 
 // New validates the stage definitions and builds a pipeline. Stage
@@ -311,25 +317,191 @@ func (p *Pipeline) buildLive() (*pipeline.Pipeline, error) {
 	return lp, nil
 }
 
+// LiveAdaptiveOptions tunes WithLiveAdaptive. The zero value picks the
+// live controller's defaults.
+type LiveAdaptiveOptions struct {
+	// Interval is the wall-clock sensing/decision period
+	// (default 250 ms).
+	Interval time.Duration
+	// MaxWorkers is the total worker budget across all stages
+	// (default 2×GOMAXPROCS) — the reserve capacity the controller may
+	// fold in when throughput degrades.
+	MaxWorkers int
+	// HysteresisGain is the minimum predicted throughput ratio
+	// new/current required to resize (default 1.15).
+	HysteresisGain float64
+	// Cooldown is the minimum wall time between two resizes
+	// (default 2×Interval).
+	Cooldown time.Duration
+}
+
+// WithLiveAdaptive arms run-time adaptation for the live execution
+// mode: when Run (or Process) starts the pipeline, a wall-clock
+// controller samples each stage's service times, feeds the same
+// forecast/trigger machinery the simulator uses, and rebalances the
+// per-stage worker pools via SetReplicas under a fixed budget — the
+// paper's self-adaptation claim, on real goroutines under real CPU
+// contention. policy is one of the Policy* constants ("static" leaves
+// the controller inert; "oracle" is simulation-only). Must be called
+// before Run.
+func (p *Pipeline) WithLiveAdaptive(policy string, opts ...LiveAdaptiveOptions) error {
+	if p.live != nil {
+		return fmt.Errorf("gridpipe: WithLiveAdaptive after the live pipeline started")
+	}
+	pol, err := parsePolicy(policy)
+	if err != nil {
+		return err
+	}
+	if pol == adaptive.PolicyOracle {
+		return fmt.Errorf("gridpipe: policy %q is simulation-only (no ground-truth loads live)", policy)
+	}
+	var o LiveAdaptiveOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	p.liveCfg = &liveadapt.Config{
+		Policy:         pol,
+		Interval:       o.Interval,
+		MaxWorkers:     o.MaxWorkers,
+		HysteresisGain: o.HysteresisGain,
+		Cooldown:       o.Cooldown,
+	}
+	return nil
+}
+
+// liveStageInfo projects the stage definitions for the live controller.
+func (p *Pipeline) liveStageInfo() []liveadapt.StageInfo {
+	info := make([]liveadapt.StageInfo, len(p.defs))
+	for i, s := range p.defs {
+		info[i] = liveadapt.StageInfo{Name: s.name, Weight: s.weight, Replicable: s.replicable}
+	}
+	return info
+}
+
 // Process runs the pipeline live over the inputs and returns outputs in
 // input order.
 func (p *Pipeline) Process(ctx context.Context, inputs []any) ([]any, error) {
-	lp, err := p.buildLive()
+	if p.liveCfg == nil {
+		lp, err := p.buildLive()
+		if err != nil {
+			return nil, err
+		}
+		return lp.Process(ctx, inputs)
+	}
+	// Run is wired before the feeder starts: if Run refuses (say, an
+	// unreplicable pipeline under an adaptive policy) the feeder must
+	// not be left blocked on a channel nobody will ever read.
+	in := make(chan any)
+	out, errs, err := p.Run(ctx, in)
 	if err != nil {
+		close(in)
 		return nil, err
 	}
-	return lp.Process(ctx, inputs)
+	go func() {
+		defer close(in)
+		for _, v := range inputs {
+			select {
+			case in <- v:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var results []any
+	for v := range out {
+		results = append(results, v)
+	}
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	if len(results) != len(inputs) {
+		return nil, fmt.Errorf("gridpipe: %d outputs for %d inputs", len(results), len(inputs))
+	}
+	return results, nil
 }
 
 // Run starts the pipeline live over a stream. See
-// internal/pipeline.Pipeline.Run for channel semantics.
+// internal/pipeline.Pipeline.Run for channel semantics. With
+// WithLiveAdaptive configured, the adaptation loop starts with the
+// pipeline and stops when the output drains.
 func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan error, error) {
 	lp, err := p.buildLive()
 	if err != nil {
 		return nil, nil, err
 	}
+	if p.liveCfg == nil {
+		out, errs := lp.Run(ctx, inputs)
+		return out, errs, nil
+	}
+	ctrl, err := liveadapt.ForPipeline(lp, p.liveStageInfo(), *p.liveCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.liveCtrl = ctrl
 	out, errs := lp.Run(ctx, inputs)
-	return out, errs, nil
+	ctrl.Start()
+	tapped := make(chan any)
+	go func() {
+		defer close(tapped)
+		defer ctrl.Stop()
+		for v := range out {
+			ctrl.NoteCompletion()
+			select {
+			case tapped <- v:
+			case <-ctx.Done():
+				// Keep draining so the inner pipeline can shut down.
+			}
+		}
+	}()
+	return tapped, errs, nil
+}
+
+// LiveAdaptationEvent is one live resize decision.
+type LiveAdaptationEvent struct {
+	// Time is seconds since the live run started.
+	Time float64
+	// From and To render the worker-count vectors.
+	From, To string
+	// PredictedOld and PredictedNew are the controller's throughput
+	// estimates (items/s) before and after the resize.
+	PredictedOld, PredictedNew float64
+}
+
+// LiveAdaptiveReport summarises the live controller's activity.
+type LiveAdaptiveReport struct {
+	// Ticks, Searches, and Resizes count decision rounds, planning
+	// rounds, and actual reconfigurations.
+	Ticks, Searches, Resizes int
+	Events                   []LiveAdaptationEvent
+	// Replicas is the current per-stage worker vector (flattened
+	// declaration order).
+	Replicas []int
+}
+
+// LiveAdaptiveReport returns the live controller's activity so far
+// (zero value when WithLiveAdaptive was not configured or Run has not
+// started).
+func (p *Pipeline) LiveAdaptiveReport() LiveAdaptiveReport {
+	if p.liveCtrl == nil {
+		return LiveAdaptiveReport{}
+	}
+	st := p.liveCtrl.Stats()
+	rep := LiveAdaptiveReport{
+		Ticks:    st.Ticks,
+		Searches: st.Searches,
+		Resizes:  st.Remaps,
+		Replicas: p.liveCtrl.Replicas(),
+	}
+	for _, ev := range st.Events {
+		rep.Events = append(rep.Events, LiveAdaptationEvent{
+			Time:         ev.Time,
+			From:         ev.From.String(),
+			To:           ev.To.String(),
+			PredictedOld: ev.PredictedOld,
+			PredictedNew: ev.PredictedNew,
+		})
+	}
+	return rep
 }
 
 // SetReplicas adjusts a running live stage's worker limit. Stages are

@@ -1,39 +1,49 @@
 // Package adaptive implements the adaptive pipeline controller — the
 // primary contribution reproduced from the paper. It closes the loop
-// between monitoring (internal/monitor), forecasting
-// (internal/forecast), modelling (internal/model), mapping search
-// (internal/sched) and actuation (internal/exec.Remap):
 //
-//	sense node loads → forecast near-future performance →
-//	re-evaluate candidate mappings under the analytic model →
-//	remap/replicate when the predicted gain clears a hysteresis bar.
+//	sense performance → forecast the near future → predict candidate
+//	configurations → reconfigure when the predicted gain clears a
+//	hysteresis bar
+//
+// over an abstract substrate: the controller itself knows nothing
+// about discrete-event simulation, grids, or goroutines. One substrate
+// (internal/adaptive/simadapt) runs the loop in virtual time over the
+// simulated executor — that is how the repository reproduces the
+// paper's experiments. A second (internal/adaptive/liveadapt) runs the
+// same loop on a wall clock over the live goroutine runtime, resizing
+// per-stage worker pools under real CPU contention — that is the paper's
+// claim done live.
+//
+// A substrate plugs in through three interfaces:
+//
+//   - Sensor: per-stage service/throughput snapshots plus per-resource
+//     load estimates (last-measured, forecast, or oracle);
+//   - Actuator: predicts the current configuration's throughput,
+//     proposes a better configuration, and applies it (remap in
+//     simulation, SetReplicas/SetWorkers live);
+//   - Clock: schedules the periodic sensing/decision tick (virtual
+//     time in simulation, a time.Ticker live).
 //
 // Three trigger policies are compared in experiment A1:
 //
-//   - Periodic: re-evaluate the mapping every interval regardless of
-//     symptoms (the simplest correct policy, but it churns).
+//   - Periodic: re-evaluate the configuration every interval regardless
+//     of symptoms (the simplest correct policy, but it churns).
 //   - Reactive: re-evaluate only when observed throughput degrades
-//     against the model's expectation for the current mapping, or the
-//     stage service times become imbalanced.
+//     against the substrate's expectation for the current
+//     configuration, or the stage service times become imbalanced.
 //   - Predictive: like Reactive, but decisions use the forecaster
-//     battery's near-future load estimates instead of the last
-//     measurement, so the controller moves before a building load
-//     spike fully lands.
+//     battery's near-future estimates instead of the last measurement,
+//     so the controller moves before a building load spike fully lands.
 //
 // An Oracle mode (true instantaneous loads, no forecast error) gives
-// the upper bound reported in figure F1.
+// the upper bound reported in figure F1; only substrates that can see
+// ground truth (the simulator) support it.
 package adaptive
 
 import (
 	"fmt"
 	"math"
-
-	"gridpipe/internal/exec"
-	"gridpipe/internal/grid"
-	"gridpipe/internal/model"
-	"gridpipe/internal/monitor"
-	"gridpipe/internal/sched"
-	"gridpipe/internal/sim"
+	"sync"
 )
 
 // Policy selects the controller's trigger-and-estimate strategy.
@@ -74,34 +84,146 @@ func (p Policy) String() string {
 	}
 }
 
-// Config tunes a Controller.
+// ParsePolicy resolves a policy name as printed by Policy.String.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if name == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("adaptive: unknown policy %q", name)
+}
+
+// Policies returns every policy in menu order.
+func Policies() []Policy {
+	return []Policy{PolicyStatic, PolicyPeriodic, PolicyReactive, PolicyPredictive, PolicyOracle}
+}
+
+// LoadMode is how a Sensor turns its measurement history into the
+// estimates a decision uses; it is derived from the policy.
+type LoadMode int
+
+const (
+	// LoadLast uses the most recent measurement.
+	LoadLast LoadMode = iota
+	// LoadPredicted uses the forecaster battery's near-future estimate.
+	LoadPredicted
+	// LoadOracle uses ground truth (simulation only).
+	LoadOracle
+)
+
+// Mode returns the load-estimation mode the policy decides with.
+func (p Policy) Mode() LoadMode {
+	switch p {
+	case PolicyOracle:
+		return LoadOracle
+	case PolicyPredictive:
+		return LoadPredicted
+	default:
+		return LoadLast
+	}
+}
+
+// Sensor is the observation side of one substrate.
+type Sensor interface {
+	// Sample takes one measurement round at time now, feeding any
+	// forecasters. The controller calls it exactly once per decision.
+	Sample(now float64)
+	// Loads returns the per-resource estimates the actuator plans with:
+	// background load per grid node in simulation, per-stage service
+	// time live. The slice is owned by the caller.
+	Loads(mode LoadMode, now float64) []float64
+	// Throughput returns the observed pipeline exit rate over the
+	// trailing window ending at now, or NaN when there is no signal.
+	Throughput(window, now float64) float64
+	// Slowdowns returns the per-stage ratio of observed service time to
+	// nominal demand (NaN for stages without a nominal demand or
+	// without samples). A healthy configuration keeps all slowdowns
+	// comparable; the imbalance trigger fires on their spread.
+	Slowdowns() []float64
+}
+
+// Placement renders one substrate configuration — a grid mapping, a
+// replica vector — for the event log.
+type Placement interface{ String() string }
+
+// Proposal is one candidate reconfiguration returned by an Actuator.
+type Proposal struct {
+	// From and To describe the old and new configurations.
+	From, To Placement
+	// Predicted is the expected throughput after actuation, in the
+	// same units as the hysteresis base returned by Expected.
+	Predicted float64
+	// Ref is the substrate's handle for Apply.
+	Ref any
+}
+
+// Actuation reports what applying a proposal did.
+type Actuation struct {
+	// Moved is the number of queued items migrated (simulation).
+	Moved int
+	// Killed is the number of in-service items aborted (kill-restart).
+	Killed int
+	// RedoneWork is the reference-seconds of service discarded.
+	RedoneWork float64
+	// Changed reports whether the configuration actually changed.
+	Changed bool
+}
+
+// Actuator is the prediction-and-actuation side of one substrate.
+type Actuator interface {
+	// Expected returns the current configuration's predicted
+	// throughput in two roles: reference is what degradation triggers
+	// compare observations against (the throughput this configuration
+	// should deliver), and hysteresis is the base a candidate's
+	// predicted gain is measured from. A substrate whose model already
+	// accounts for current conditions returns the same value for both;
+	// the live substrate anchors reference to unloaded baselines so a
+	// uniform slowdown is visible as degradation.
+	Expected(loads []float64) (reference, hysteresis float64)
+	// Propose searches for a better configuration under the load
+	// estimates. searched=false means no search could run (no live
+	// resources, no measurements yet); a nil proposal with
+	// searched=true means the search found nothing different from the
+	// current configuration.
+	Propose(loads []float64) (p *Proposal, searched bool)
+	// Apply actuates a proposal returned by Propose.
+	Apply(p *Proposal) Actuation
+}
+
+// Clock schedules the controller's periodic tick on the substrate's
+// timeline.
+type Clock interface {
+	// Tick arranges fn(now) to fire every interval time units, first
+	// one interval from now. The returned function cancels future
+	// ticks; it must not return while an invocation of fn is running.
+	Tick(interval float64, fn func(now float64)) (stop func())
+}
+
+// Config tunes a Controller. All thresholds are substrate-neutral;
+// substrate-specific knobs (remap protocol, searcher, worker budget)
+// live on the substrate's own config.
 type Config struct {
 	Policy Policy
-	// Interval is the sensing/decision period in virtual seconds
-	// (default 1).
+	// Interval is the sensing/decision period in the substrate's time
+	// unit — virtual seconds simulated, wall seconds live (default 1).
 	Interval float64
 	// DegradationFactor triggers re-evaluation when observed
-	// throughput falls below this fraction of the model's expectation
-	// for the current mapping (default 0.7).
+	// throughput falls below this fraction of the substrate's
+	// expectation for the current configuration (default 0.7).
 	DegradationFactor float64
 	// ImbalanceThreshold triggers re-evaluation when the max/min stage
-	// service-time ratio exceeds it (default 3).
+	// slowdown ratio exceeds it (default 3).
 	ImbalanceThreshold float64
 	// HysteresisGain is the minimum predicted throughput ratio
-	// new/current required to actually remap (default 1.15). It is the
-	// knob that stops oscillation; experiments F3 and A3 sweep the
-	// regime where it matters.
+	// new/current required to actually reconfigure (default 1.15). It
+	// is the knob that stops oscillation; experiments F3 and A3 sweep
+	// the regime where it matters.
 	HysteresisGain float64
-	// Cooldown is the minimum virtual time between two remaps
-	// (default 0 = none). A second anti-churn guard, independent of the
-	// predicted gain.
+	// Cooldown is the minimum time between two reconfigurations
+	// (default 0 = none). A second anti-churn guard, independent of
+	// the predicted gain.
 	Cooldown float64
-	// Protocol is how in-flight work is handled on remap.
-	Protocol exec.RemapProtocol
-	// MaxReplicas bounds stage replication width (0 = grid size).
-	MaxReplicas int
-	// Searcher finds candidate mappings (default LocalSearch).
-	Searcher sched.Searcher
 	// ThroughputWindow is the trailing window for observed throughput
 	// (default 5×Interval).
 	ThroughputWindow float64
@@ -120,9 +242,6 @@ func (c *Config) fillDefaults() {
 	if c.HysteresisGain <= 0 {
 		c.HysteresisGain = 1.15
 	}
-	if c.Searcher == nil {
-		c.Searcher = sched.LocalSearch{Seed: 1}
-	}
 	if c.ThroughputWindow <= 0 {
 		c.ThroughputWindow = 5 * c.Interval
 	}
@@ -131,12 +250,12 @@ func (c *Config) fillDefaults() {
 // Event records one actual reconfiguration.
 type Event struct {
 	Time         float64
-	From, To     model.Mapping
+	From, To     Placement
 	PredictedOld float64
 	PredictedNew float64
-	Stats        exec.RemapStats
-	// Fault marks a remap forced by a node crash (hysteresis and
-	// trigger thresholds bypassed).
+	Stats        Actuation
+	// Fault marks a reconfiguration forced by a resource failure
+	// (hysteresis and trigger thresholds bypassed).
 	Fault bool
 }
 
@@ -145,165 +264,133 @@ type Stats struct {
 	Ticks    int
 	Searches int
 	Remaps   int
-	// FaultRemaps counts remaps forced by node crashes, a subset of
-	// Remaps.
+	// FaultRemaps counts remaps forced by resource failures, a subset
+	// of Remaps.
 	FaultRemaps int
 	Events      []Event
 }
 
-// Controller drives adaptation of one executor.
+// Controller drives adaptation of one substrate. Build with New; the
+// same controller core runs simulated (deterministic, single-threaded)
+// and live (ticks fire on a clock goroutine), so its entry points are
+// mutex-guarded.
 type Controller struct {
-	eng  *sim.Engine
-	g    *grid.Grid
-	ex   *exec.Executor
-	spec model.PipelineSpec
-	cfg  Config
+	sensor Sensor
+	act    Actuator
+	clock  Clock
+	cfg    Config
 
-	sensors []*monitor.NodeSensor
-	ticker  *sim.Ticker
-	stats   Stats
-	// availBuf is the reusable availability mask handed to the search;
-	// it stays nil (and the search unrestricted) until churn actually
-	// takes a node out.
-	availBuf []bool
+	mu    sync.Mutex
+	stop  func()
+	stats Stats
 }
 
-// NewController builds a controller. Call Start before running the
-// engine. The executor must run the same spec on the same grid.
-func NewController(eng *sim.Engine, g *grid.Grid, ex *exec.Executor, spec model.PipelineSpec, cfg Config) (*Controller, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, err
+// New builds a controller over one substrate's sensor, actuator, and
+// clock. Call Start to begin the decision loop.
+func New(sensor Sensor, act Actuator, clock Clock, cfg Config) (*Controller, error) {
+	if sensor == nil || act == nil || clock == nil {
+		return nil, fmt.Errorf("adaptive: nil substrate part (sensor=%t actuator=%t clock=%t)",
+			sensor != nil, act != nil, clock != nil)
 	}
 	cfg.fillDefaults()
-	c := &Controller{eng: eng, g: g, ex: ex, spec: spec, cfg: cfg}
-	c.sensors = make([]*monitor.NodeSensor, g.NumNodes())
-	for i := range c.sensors {
-		c.sensors[i] = monitor.NewNodeSensor(g.Node(grid.NodeID(i)), nil)
-	}
-	return c, nil
+	return &Controller{sensor: sensor, act: act, clock: clock, cfg: cfg}, nil
 }
+
+// Policy returns the controller's trigger policy.
+func (c *Controller) Policy() Policy { return c.cfg.Policy }
 
 // Stats returns a copy of the controller's activity counters.
 func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := c.stats
 	out.Events = append([]Event(nil), c.stats.Events...)
 	return out
 }
 
-// Start installs the periodic sensing/decision tick and the fault
-// hook. A static controller installs nothing: it neither adapts to
-// load nor reacts to crashes, which is exactly the baseline the churn
-// experiments measure against.
+// Start installs the periodic sensing/decision tick. A static
+// controller installs nothing: it neither adapts to load nor reacts to
+// failures, which is exactly the baseline the experiments measure
+// against.
 func (c *Controller) Start() {
 	if c.cfg.Policy == PolicyStatic {
 		return
 	}
-	c.ex.SetLifecycleHook(c.onLifecycle)
-	c.ticker = sim.NewTicker(c.eng, c.cfg.Interval, c.tick)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = c.clock.Tick(c.cfg.Interval, c.tick)
 }
 
 // Stop cancels the decision loop.
 func (c *Controller) Stop() {
-	if c.ticker != nil {
-		c.ticker.Stop()
+	c.mu.Lock()
+	stop := c.stop
+	c.stop = nil
+	c.mu.Unlock()
+	if stop != nil {
+		stop()
 	}
-}
-
-// loadEstimates returns the per-node load vector the current policy
-// decides with.
-func (c *Controller) loadEstimates(now float64) []float64 {
-	loads := make([]float64, len(c.sensors))
-	for i, s := range c.sensors {
-		switch c.cfg.Policy {
-		case PolicyOracle:
-			n := c.g.Node(grid.NodeID(i))
-			if n.Load != nil {
-				loads[i] = n.Load.At(now)
-			}
-		case PolicyPredictive:
-			loads[i] = s.PredictedLoad()
-		default: // periodic, reactive
-			l := s.LastLoad()
-			if math.IsNaN(l) {
-				l = 0
-			}
-			loads[i] = l
-		}
-	}
-	return loads
 }
 
 // tick is one sensing/decision round.
 func (c *Controller) tick(now float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.stats.Ticks++
-	for _, s := range c.sensors {
-		s.Sample(now)
-	}
-	loads := c.loadEstimates(now)
-
-	currentPred, err := model.Predict(c.g, c.spec, c.ex.Mapping(), loads)
-	if err != nil {
-		// The spec and mapping were validated at construction; a
-		// failure here is a programming error worth surfacing loudly
-		// in simulation.
-		panic(fmt.Sprintf("adaptive: predict current mapping: %v", err))
-	}
+	c.sensor.Sample(now)
+	loads := c.sensor.Loads(c.cfg.Policy.Mode(), now)
+	reference, hysteresis := c.act.Expected(loads)
 
 	if c.cfg.Cooldown > 0 && len(c.stats.Events) > 0 &&
 		now-c.stats.Events[len(c.stats.Events)-1].Time < c.cfg.Cooldown {
 		return
 	}
-	if !c.shouldSearch(now, currentPred.Throughput) {
+	if !c.shouldSearch(now, reference) {
 		return
 	}
-	c.searchAndActuate(now, loads, currentPred.Throughput, false)
+	c.searchAndActuate(now, loads, hysteresis, false)
 }
 
-// searchAndActuate runs one mapping search over the available nodes
-// and remaps when warranted: the shared tail of the periodic tick and
-// the fault path. oldPred is the model's view of the current mapping,
-// recorded in the event; fault bypasses the hysteresis bar (a dead or
-// draining replica already invalidated the placement) and marks the
-// event. The search excludes Down/Draining nodes, and a node that
-// rejoined (or joined fresh) since the last search is simply in the
-// mask again — "folded into the next search" with no special casing.
-// When churn has taken every node out, the search is skipped entirely:
-// parts park in the executor until a rejoin restores capacity.
+// Fault forces an immediate search-and-actuate at time now, bypassing
+// the trigger thresholds, the hysteresis bar, and the cooldown.
+// Substrates call it when a resource the current placement uses dies:
+// any feasible configuration beats the current one, and waiting for
+// the reactive throughput trigger would not even fire on a total
+// stall, since a window with zero completions reads as "no signal"
+// rather than "zero".
+func (c *Controller) Fault(now float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sensor.Sample(now)
+	loads := c.sensor.Loads(c.cfg.Policy.Mode(), now)
+	// The old prediction is the substrate's view of the configuration
+	// the fault just invalidated, recorded for the events table only —
+	// the fault path never gates on it.
+	_, hysteresis := c.act.Expected(loads)
+	c.searchAndActuate(now, loads, hysteresis, true)
+}
+
+// searchAndActuate runs one configuration search and actuates when
+// warranted: the shared tail of the periodic tick and the fault path.
+// oldPred is the substrate's view of the current configuration,
+// recorded in the event; fault bypasses the hysteresis bar (a dead
+// replica already invalidated the placement) and marks the event.
 func (c *Controller) searchAndActuate(now float64, loads []float64, oldPred float64, fault bool) {
-	avail := c.availMask()
-	if avail != nil {
-		any := false
-		for _, ok := range avail {
-			if ok {
-				any = true
-				break
-			}
-		}
-		if !any {
-			return // nothing to map onto; wait for a rejoin
-		}
+	p, searched := c.act.Propose(loads)
+	if !searched {
+		return // nothing to plan over; wait for capacity or signal
 	}
 	c.stats.Searches++
-	cand, candPred, err := sched.SearchAvailable(c.cfg.Searcher, c.g, c.spec, loads, avail)
-	if err != nil {
-		panic(fmt.Sprintf("adaptive: search: %v", err))
+	if p == nil {
+		return // the search found nothing different
 	}
-	cand, candPred, err = sched.ImproveWithReplicationAvail(c.g, c.spec, cand, loads, c.cfg.MaxReplicas, avail)
-	if err != nil {
-		panic(fmt.Sprintf("adaptive: replication: %v", err))
-	}
-
-	if !fault && candPred.Throughput < c.cfg.HysteresisGain*oldPred {
+	if !fault && p.Predicted < c.cfg.HysteresisGain*oldPred {
 		return // not worth the disruption
 	}
-	old := c.ex.Mapping()
-	if cand.Equal(old) {
-		return
-	}
-	st, err := c.ex.Remap(cand, c.cfg.Protocol)
-	if err != nil {
-		panic(fmt.Sprintf("adaptive: remap: %v", err))
-	}
+	st := c.act.Apply(p)
 	if !st.Changed {
 		return
 	}
@@ -313,85 +400,27 @@ func (c *Controller) searchAndActuate(now float64, loads []float64, oldPred floa
 	}
 	c.stats.Events = append(c.stats.Events, Event{
 		Time:         now,
-		From:         old,
-		To:           cand,
+		From:         p.From,
+		To:           p.To,
 		PredictedOld: oldPred,
-		PredictedNew: candPred.Throughput,
+		PredictedNew: p.Predicted,
 		Stats:        st,
 		Fault:        fault,
 	})
 }
 
-// availMask returns the executor's current availability as a search
-// mask, or nil while every node is up (the common case, which keeps
-// the no-churn decision path identical to the pre-lifecycle
-// controller).
-func (c *Controller) availMask() []bool {
-	if c.ex.AllAvailable() {
-		return nil
-	}
-	if c.availBuf == nil {
-		c.availBuf = make([]bool, c.g.NumNodes())
-	}
-	for i := range c.availBuf {
-		c.availBuf[i] = c.ex.Available(grid.NodeID(i))
-	}
-	return c.availBuf
-}
-
-// onLifecycle is the executor's fault hook. A crash — or a drain,
-// which is a planned evacuation — of a node the current mapping uses
-// triggers an immediate remap: no waiting for the next tick, no
-// hysteresis bar, no cooldown. With a replica dead (or refusing new
-// work), any feasible placement beats the current one; waiting for the
-// reactive throughput trigger would not even fire on a total stall,
-// since a window with zero completions reads as "no signal" rather
-// than "zero". Rejoins and joins need no immediate action; the
-// periodic tick's search mask already includes them.
-func (c *Controller) onLifecycle(now float64, n grid.NodeID, s grid.NodeState) {
-	if s == grid.Up {
-		return
-	}
-	if !c.ex.Mapping().UsesNode(n) {
-		return
-	}
-	c.faultRemap(now)
-}
-
-// faultRemap searches over the live nodes and actuates unconditionally
-// (the crash already invalidated the current mapping). The old
-// prediction is the model's view of the placement the crash just
-// invalidated (its loads cannot see the dead node), recorded for the
-// events table only — the fault path never gates on it.
-func (c *Controller) faultRemap(now float64) {
-	for _, s := range c.sensors {
-		s.Sample(now)
-	}
-	loads := c.loadEstimates(now)
-	oldPred, err := model.Predict(c.g, c.spec, c.ex.Mapping(), loads)
-	if err != nil {
-		panic(fmt.Sprintf("adaptive: predict pre-fault mapping: %v", err))
-	}
-	c.searchAndActuate(now, loads, oldPred.Throughput, true)
-}
-
-// normalizedImbalance returns the ratio of the largest to the smallest
-// per-stage slowdown, where slowdown is windowed mean service time
-// divided by the stage's specified demand. A healthy mapping keeps all
-// slowdowns comparable; a loaded or slow node inflates its stages'
-// slowdowns only.
-func (c *Controller) normalizedImbalance() float64 {
+// imbalance returns the ratio of the largest to the smallest per-stage
+// slowdown reported by the sensor, or NaN until at least two stages
+// have a signal. A loaded or slow resource inflates its stages'
+// slowdowns only, so the spread separates placement problems from the
+// pipeline simply having unequal stages.
+func (c *Controller) imbalance() float64 {
 	min, max := math.Inf(1), math.Inf(-1)
 	n := 0
-	for i, st := range c.spec.Stages {
-		if st.Work <= 0 {
+	for _, s := range c.sensor.Slowdowns() {
+		if math.IsNaN(s) {
 			continue
 		}
-		v := c.ex.Monitor().Stage(i).MeanService()
-		if math.IsNaN(v) {
-			continue
-		}
-		s := v / st.Work
 		n++
 		if s < min {
 			min = s
@@ -406,26 +435,25 @@ func (c *Controller) normalizedImbalance() float64 {
 	return max / min
 }
 
-// shouldSearch evaluates the trigger for the current policy.
+// shouldSearch evaluates the trigger for the current policy. expected
+// is the reference throughput of the current configuration.
 func (c *Controller) shouldSearch(now, expected float64) bool {
 	switch c.cfg.Policy {
 	case PolicyPeriodic, PolicyOracle:
 		return true
 	case PolicyReactive, PolicyPredictive:
-		// Degradation trigger: observed vs model expectation.
-		obs := c.ex.Monitor().RecentThroughput(c.cfg.ThroughputWindow, now)
+		// Degradation trigger: observed vs the substrate's expectation.
+		obs := c.sensor.Throughput(c.cfg.ThroughputWindow, now)
 		if !math.IsNaN(obs) && expected > 0 && obs < c.cfg.DegradationFactor*expected {
 			return true
 		}
-		// Imbalance trigger: one stage's *slowdown* (observed service
-		// over specified demand) far exceeds another's — a placement
-		// problem, as opposed to the pipeline simply having unequal
-		// stages.
-		if imb := c.normalizedImbalance(); !math.IsNaN(imb) && imb > c.cfg.ImbalanceThreshold {
+		// Imbalance trigger: one stage's slowdown far exceeds
+		// another's — a placement problem.
+		if imb := c.imbalance(); !math.IsNaN(imb) && imb > c.cfg.ImbalanceThreshold {
 			return true
 		}
-		// Predictive additionally searches when the forecast loads make
-		// the current mapping look substantially worse than it was
+		// Predictive additionally searches when the forecast makes the
+		// current configuration look substantially worse than it was
 		// promised at the last remap — i.e. trouble is coming even if
 		// throughput has not collapsed yet.
 		if c.cfg.Policy == PolicyPredictive {

@@ -1,8 +1,9 @@
-package adaptive
+package simadapt
 
 import (
 	"testing"
 
+	"gridpipe/internal/adaptive"
 	"gridpipe/internal/exec"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
@@ -12,7 +13,7 @@ import (
 
 // faultFixture builds a 4-node grid, 3-stage pipeline, executor and
 // controller with churn installed.
-func faultFixture(t *testing.T, policy Policy, evs ...grid.ChurnEvent) (*sim.Engine, *exec.Executor, *Controller) {
+func faultFixture(t *testing.T, policy adaptive.Policy, evs ...grid.ChurnEvent) (*sim.Engine, *exec.Executor, *Controller) {
 	t.Helper()
 	g, err := grid.Homogeneous(4, 1, grid.LANLink)
 	if err != nil {
@@ -31,7 +32,7 @@ func faultFixture(t *testing.T, policy Policy, evs ...grid.ChurnEvent) (*sim.Eng
 	if err := ex.InstallChurn(churn); err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := NewController(eng, g, ex, spec, Config{
+	ctrl, err := New(eng, g, ex, spec, Config{
 		Policy:   policy,
 		Interval: 1,
 		Searcher: sched.LocalSearch{Seed: 1},
@@ -46,7 +47,7 @@ func faultFixture(t *testing.T, policy Policy, evs ...grid.ChurnEvent) (*sim.Eng
 // instant, off-tick and regardless of hysteresis.
 func TestCrashTriggersImmediateRemap(t *testing.T) {
 	// Crash between ticks (ticks at 1, 2, ...; crash at 2.5).
-	_, ex, ctrl := faultFixture(t, PolicyReactive, grid.Outage("node1", 2.5, 20)...)
+	_, ex, ctrl := faultFixture(t, adaptive.PolicyReactive, grid.Outage("node1", 2.5, 20)...)
 	ctrl.Start()
 	done := ex.RunUntil(10)
 	ctrl.Stop()
@@ -55,7 +56,7 @@ func TestCrashTriggersImmediateRemap(t *testing.T) {
 	if st.FaultRemaps == 0 {
 		t.Fatalf("no fault remap recorded (remaps=%d)", st.Remaps)
 	}
-	var fault *Event
+	var fault *adaptive.Event
 	for i := range st.Events {
 		if st.Events[i].Fault {
 			fault = &st.Events[i]
@@ -68,7 +69,7 @@ func TestCrashTriggersImmediateRemap(t *testing.T) {
 	if fault.Time != 2.5 {
 		t.Fatalf("fault remap at t=%v, want 2.5 (the crash instant, not the next tick)", fault.Time)
 	}
-	for _, nodes := range fault.To.Assign {
+	for _, nodes := range fault.To.(model.Mapping).Assign {
 		for _, n := range nodes {
 			if n == 1 {
 				t.Fatalf("fault remap kept the dead node: %s", fault.To)
@@ -86,7 +87,7 @@ func TestCrashTriggersImmediateRemap(t *testing.T) {
 // TestStaticControllerIgnoresCrash: the static policy registers no
 // fault hook — the baseline really is inert.
 func TestStaticControllerIgnoresCrash(t *testing.T) {
-	_, ex, ctrl := faultFixture(t, PolicyStatic, grid.Outage("node1", 2.5, 8)...)
+	_, ex, ctrl := faultFixture(t, adaptive.PolicyStatic, grid.Outage("node1", 2.5, 8)...)
 	ctrl.Start()
 	ex.RunUntil(15)
 	ctrl.Stop()
@@ -105,7 +106,7 @@ func TestStaticControllerIgnoresCrash(t *testing.T) {
 // mask no longer excludes it; we assert remapping activity resumes
 // without a fault event).
 func TestRejoinFoldedIntoNextSearch(t *testing.T) {
-	_, ex, ctrl := faultFixture(t, PolicyPeriodic, grid.Outage("node1", 2.5, 4)...)
+	_, ex, ctrl := faultFixture(t, adaptive.PolicyPeriodic, grid.Outage("node1", 2.5, 4)...)
 	ctrl.Start()
 	ex.RunUntil(12)
 	ctrl.Stop()
@@ -147,8 +148,8 @@ func TestAllNodesDownDoesNotPanic(t *testing.T) {
 	if err := ex.InstallChurn(churn); err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := NewController(eng, g, ex, spec, Config{
-		Policy:   PolicyReactive,
+	ctrl, err := New(eng, g, ex, spec, Config{
+		Policy:   adaptive.PolicyReactive,
 		Interval: 1,
 		Searcher: sched.LocalSearch{Seed: 1},
 	})
@@ -169,7 +170,7 @@ func TestAllNodesDownDoesNotPanic(t *testing.T) {
 // TestCrashOfUnusedNodeNoRemap: a crash of a node the mapping does not
 // use must not force a remap.
 func TestCrashOfUnusedNodeNoRemap(t *testing.T) {
-	_, ex, ctrl := faultFixture(t, PolicyReactive, grid.Outage("node3", 2.5, 20)...)
+	_, ex, ctrl := faultFixture(t, adaptive.PolicyReactive, grid.Outage("node3", 2.5, 20)...)
 	ctrl.Start()
 	ex.RunUntil(6)
 	ctrl.Stop()

@@ -1,9 +1,10 @@
-package adaptive
+package simadapt
 
 import (
 	"math"
 	"testing"
 
+	"gridpipe/internal/adaptive"
 	"gridpipe/internal/exec"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
@@ -28,7 +29,7 @@ func spikeGrid(t *testing.T, spikeAt float64) *grid.Grid {
 
 // runPolicy runs a 2-stage pipeline on the spike grid for the given
 // virtual duration and returns (items done, controller stats).
-func runPolicy(t *testing.T, policy Policy, duration float64) (int, Stats) {
+func runPolicy(t *testing.T, policy adaptive.Policy, duration float64) (int, adaptive.Stats) {
 	t.Helper()
 	g := spikeGrid(t, 20)
 	spec := model.Balanced(2, 0.1, 100)
@@ -40,7 +41,7 @@ func runPolicy(t *testing.T, policy Policy, duration float64) (int, Stats) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := NewController(eng, g, ex, spec, Config{Policy: policy, Interval: 1})
+	ctrl, err := New(eng, g, ex, spec, Config{Policy: policy, Interval: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func runPolicy(t *testing.T, policy Policy, duration float64) (int, Stats) {
 }
 
 func TestStaticNeverAdapts(t *testing.T) {
-	done, st := runPolicy(t, PolicyStatic, 60)
+	done, st := runPolicy(t, adaptive.PolicyStatic, 60)
 	if st.Ticks != 0 || st.Remaps != 0 {
 		t.Fatalf("static controller acted: %+v", st)
 	}
@@ -62,8 +63,8 @@ func TestStaticNeverAdapts(t *testing.T) {
 }
 
 func TestAdaptiveBeatsStaticUnderSpike(t *testing.T) {
-	staticDone, _ := runPolicy(t, PolicyStatic, 60)
-	for _, p := range []Policy{PolicyPeriodic, PolicyReactive, PolicyPredictive, PolicyOracle} {
+	staticDone, _ := runPolicy(t, adaptive.PolicyStatic, 60)
+	for _, p := range []adaptive.Policy{adaptive.PolicyPeriodic, adaptive.PolicyReactive, adaptive.PolicyPredictive, adaptive.PolicyOracle} {
 		done, st := runPolicy(t, p, 60)
 		if st.Remaps == 0 {
 			t.Errorf("%v: no remap happened", p)
@@ -76,7 +77,7 @@ func TestAdaptiveBeatsStaticUnderSpike(t *testing.T) {
 }
 
 func TestAdaptiveEscapesLoadedNode(t *testing.T) {
-	_, st := runPolicy(t, PolicyReactive, 60)
+	_, st := runPolicy(t, adaptive.PolicyReactive, 60)
 	if len(st.Events) == 0 {
 		t.Fatal("no adaptation events")
 	}
@@ -85,7 +86,7 @@ func TestAdaptiveEscapesLoadedNode(t *testing.T) {
 		t.Fatalf("remap at %v, before the spike at 20", ev.Time)
 	}
 	// The new mapping must avoid node 0 (the loaded one).
-	for si, nodes := range ev.To.Assign {
+	for si, nodes := range ev.To.(model.Mapping).Assign {
 		for _, n := range nodes {
 			if n == 0 {
 				t.Fatalf("stage %d still on loaded node after remap: %s", si, ev.To)
@@ -111,7 +112,7 @@ func TestHysteresisPreventsChurnOnStableGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := NewController(eng, g, ex, spec, Config{Policy: PolicyPeriodic, Interval: 1})
+	ctrl, err := New(eng, g, ex, spec, Config{Policy: adaptive.PolicyPeriodic, Interval: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,8 +125,8 @@ func TestHysteresisPreventsChurnOnStableGrid(t *testing.T) {
 }
 
 func TestReactiveSearchesLessThanPeriodic(t *testing.T) {
-	_, per := runPolicy(t, PolicyPeriodic, 60)
-	_, rea := runPolicy(t, PolicyReactive, 60)
+	_, per := runPolicy(t, adaptive.PolicyPeriodic, 60)
+	_, rea := runPolicy(t, adaptive.PolicyReactive, 60)
 	if rea.Searches >= per.Searches {
 		t.Fatalf("reactive searched %d times, periodic %d — trigger not selective",
 			rea.Searches, per.Searches)
@@ -136,8 +137,8 @@ func TestReactiveSearchesLessThanPeriodic(t *testing.T) {
 }
 
 func TestOracleAtLeastAsGoodAsReactive(t *testing.T) {
-	oDone, _ := runPolicy(t, PolicyOracle, 60)
-	rDone, _ := runPolicy(t, PolicyReactive, 60)
+	oDone, _ := runPolicy(t, adaptive.PolicyOracle, 60)
+	rDone, _ := runPolicy(t, adaptive.PolicyReactive, 60)
 	// Allow a whisker of slack: the oracle pays the same remap costs.
 	if float64(oDone) < 0.95*float64(rDone) {
 		t.Fatalf("oracle (%d) clearly worse than reactive (%d)", oDone, rDone)
@@ -160,7 +161,7 @@ func TestControllerReplicatesBottleneck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := NewController(eng, g, ex, spec, Config{Policy: PolicyPeriodic, Interval: 1})
+	ctrl, err := New(eng, g, ex, spec, Config{Policy: adaptive.PolicyPeriodic, Interval: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestMaxReplicasRespected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctrl, err := NewController(eng, g, ex, spec, Config{Policy: PolicyPeriodic, Interval: 1, MaxReplicas: 2})
+	ctrl, err := New(eng, g, ex, spec, Config{Policy: adaptive.PolicyPeriodic, Interval: 1, MaxReplicas: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,14 +225,14 @@ func TestCooldownLimitsRemapRate(t *testing.T) {
 		return g
 	}
 	spec := model.Balanced(2, 0.1, 100)
-	run := func(cooldown float64) Stats {
+	run := func(cooldown float64) adaptive.Stats {
 		eng := &sim.Engine{}
 		ex, err := exec.New(eng, mk(), spec, model.OneToOne(2), exec.Options{MaxInFlight: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ctrl, err := NewController(eng, mk(), ex, spec, Config{
-			Policy: PolicyOracle, Interval: 1,
+		ctrl, err := New(eng, mk(), ex, spec, Config{
+			Policy: adaptive.PolicyOracle, Interval: 1,
 			HysteresisGain: 1.01,
 			Cooldown:       cooldown,
 		})
@@ -256,34 +257,16 @@ func TestCooldownLimitsRemapRate(t *testing.T) {
 	}
 }
 
-func TestPolicyStrings(t *testing.T) {
-	want := map[Policy]string{
-		PolicyStatic:     "static",
-		PolicyPeriodic:   "periodic",
-		PolicyReactive:   "reactive",
-		PolicyPredictive: "predictive",
-		PolicyOracle:     "oracle",
-	}
-	for p, s := range want {
-		if p.String() != s {
-			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
-		}
-	}
-	if Policy(42).String() == "" {
-		t.Error("unknown policy should render")
-	}
-}
-
-func TestNewControllerValidates(t *testing.T) {
+func TestNewValidatesSpec(t *testing.T) {
 	g, _ := grid.Heterogeneous([]float64{1}, grid.LANLink)
 	eng := &sim.Engine{}
-	if _, err := NewController(eng, g, nil, model.PipelineSpec{}, Config{}); err == nil {
+	if _, err := New(eng, g, nil, model.PipelineSpec{}, Config{}); err == nil {
 		t.Fatal("empty spec accepted")
 	}
 }
 
 func TestStatsIsolatedCopy(t *testing.T) {
-	_, st := runPolicy(t, PolicyPeriodic, 40)
+	_, st := runPolicy(t, adaptive.PolicyPeriodic, 40)
 	if len(st.Events) > 0 {
 		st.Events[0].Time = -1
 		// Mutating the copy must not corrupt controller state — we
@@ -306,13 +289,13 @@ func TestAdaptationRecoversAfterTransientSpike(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec := model.Balanced(2, 0.1, 100)
-	run := func(policy Policy) int {
+	run := func(policy adaptive.Policy) int {
 		eng := &sim.Engine{}
 		ex, err := exec.New(eng, g, spec, model.SingleNode(2, 0), exec.Options{MaxInFlight: 8})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ctrl, err := NewController(eng, g, ex, spec, Config{Policy: policy, Interval: 1})
+		ctrl, err := New(eng, g, ex, spec, Config{Policy: policy, Interval: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -321,12 +304,12 @@ func TestAdaptationRecoversAfterTransientSpike(t *testing.T) {
 		ctrl.Stop()
 		return done
 	}
-	static := run(PolicyStatic)
-	adaptive := run(PolicyReactive)
-	if adaptive <= static {
-		t.Fatalf("adaptive %d vs static %d under transient spike", adaptive, static)
+	static := run(adaptive.PolicyStatic)
+	adapted := run(adaptive.PolicyReactive)
+	if adapted <= static {
+		t.Fatalf("adaptive %d vs static %d under transient spike", adapted, static)
 	}
-	if math.IsNaN(float64(adaptive)) {
+	if math.IsNaN(float64(adapted)) {
 		t.Fatal("unreachable")
 	}
 }

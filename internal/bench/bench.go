@@ -45,6 +45,11 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(seed uint64) (*Result, error)
+	// WallClock marks experiments that measure real time on this
+	// machine (the live-runtime experiments): their tables vary
+	// between runs, and RunAll keeps them out of the parallel pool so
+	// concurrent sweeps cannot pollute their measurements.
+	WallClock bool
 }
 
 // registry of all experiments, populated by the experiment files.
@@ -123,9 +128,21 @@ func RunAll(seed uint64, workers int) []RunOutcome {
 		}()
 	}
 	for i := range exps {
+		if exps[i].WallClock {
+			continue // measured on real time; runs alone below
+		}
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+	// Wall-clock experiments run sequentially on the drained machine:
+	// fanning them out with the simulated sweeps would let unrelated
+	// CPU work pollute their timings.
+	for i := range exps {
+		if exps[i].WallClock {
+			res, err := exps[i].Run(seed)
+			out[i] = RunOutcome{Experiment: exps[i], Result: res, Err: err}
+		}
+	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"gridpipe/internal/adaptive"
+	"gridpipe/internal/adaptive/simadapt"
 	"gridpipe/internal/exec"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
@@ -110,7 +111,7 @@ func run(c runConfig) (runOutcome, error) {
 			return runOutcome{}, err
 		}
 	}
-	ctrl, err := adaptive.NewController(eng, c.Grid, ex, c.App.Spec, adaptive.Config{
+	ctrl, err := simadapt.New(eng, c.Grid, ex, c.App.Spec, simadapt.Config{
 		Policy:   c.Policy,
 		Interval: c.Interval,
 		Protocol: c.Protocol,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gridpipe/internal/adaptive"
+	"gridpipe/internal/adaptive/simadapt"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
 	"gridpipe/internal/rng"
@@ -182,7 +183,7 @@ func runA3(seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ctrl, err := adaptive.NewController(eng, g, ex, app.Spec, adaptive.Config{
+		ctrl, err := simadapt.New(eng, g, ex, app.Spec, simadapt.Config{
 			Policy:         adaptive.PolicyPeriodic,
 			Interval:       1,
 			HysteresisGain: gain,

@@ -153,6 +153,15 @@ func (m *Meter) Record(d time.Duration) {
 	}
 }
 
+// Totals returns the cumulative sample count and summed service time.
+// Samplers that want windowed means (the live adaptive sensor) diff
+// two Totals readings instead of re-deriving them from the lossy
+// rounded mean Snapshot reports. The two loads are individually atomic
+// but not mutually consistent — fine for monitoring reads.
+func (m *Meter) Totals() (count int64, sum time.Duration) {
+	return m.count.Load(), time.Duration(m.sumNs.Load())
+}
+
 // Snapshot returns the sample count, mean, and max. The three loads are
 // individually atomic but not mutually consistent — fine for the
 // monitoring read-side, which only ever sees a slightly stale mean.

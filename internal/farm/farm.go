@@ -105,12 +105,16 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 		return pl.Run(ctx, inputs)
 	}
 
-	// Unordered mode: a resizable pool of persistent workers.
+	// Unordered mode: a resizable pool of persistent workers. The
+	// option fields are captured under the lock: a concurrent
+	// SetWorkers may rewrite opts.Workers the instant Run releases it
+	// (the limiter, not the pool buffer, bounds concurrency anyway).
 	f.limit = conc.NewLimiter(f.opts.Workers)
+	outBuf, poolBuf := f.opts.Buffer, 2*f.opts.Workers
 	f.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(ctx)
-	out := make(chan any, f.opts.Buffer)
+	out := make(chan any, outBuf)
 	errs := make(chan error, 1)
 	var (
 		errOnce  sync.Once
@@ -122,7 +126,7 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 			cancel()
 		})
 	}
-	pool := conc.NewPool(f.limit, 2*f.opts.Workers, func(v any) {
+	pool := conc.NewPool(f.limit, poolBuf, func(v any) {
 		t0 := time.Now()
 		r, err := f.fn(ctx, v)
 		f.meter.Record(time.Since(t0))
@@ -208,6 +212,31 @@ func (f *Farm) SetWorkers(n int) error {
 		f.limit.SetLimit(n)
 	}
 	return nil
+}
+
+// Workers returns the current worker limit.
+func (f *Farm) Workers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pl != nil {
+		return f.pl.Replicas(0)
+	}
+	if f.limit != nil {
+		return f.limit.Limit()
+	}
+	return f.opts.Workers
+}
+
+// Totals returns the cumulative completed-task count and summed
+// service time (see conc.Meter.Totals); the live adaptive sensor
+// diffs two readings for windowed means.
+func (f *Farm) Totals() (count int64, sum time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pl != nil {
+		return f.pl.StageTotals(0)
+	}
+	return f.meter.Totals()
 }
 
 // Stats snapshots the farm's counters.

@@ -64,8 +64,10 @@ func (a *Adaptive) Observe(v float64) {
 	}
 }
 
-// Predict implements Forecaster.
-func (a *Adaptive) Predict() float64 {
+// bestIndex returns the index of the member with the lowest discounted
+// error, or -1 before any member has been scored. Predict and Best
+// share this one selection path.
+func (a *Adaptive) bestIndex() int {
 	best := -1
 	bestErr := math.Inf(1)
 	for i := range a.members {
@@ -77,6 +79,12 @@ func (a *Adaptive) Predict() float64 {
 			best = i
 		}
 	}
+	return best
+}
+
+// Predict implements Forecaster.
+func (a *Adaptive) Predict() float64 {
+	best := a.bestIndex()
 	if best < 0 {
 		// No member has been scored yet; fall back to any member that
 		// can predict at all.
@@ -93,17 +101,7 @@ func (a *Adaptive) Predict() float64 {
 // Best returns the name of the member currently trusted, or "" before
 // any scoring.
 func (a *Adaptive) Best() string {
-	best := -1
-	bestErr := math.Inf(1)
-	for i := range a.members {
-		if !a.primed[i] {
-			continue
-		}
-		if e := a.errs[i].Value(); e < bestErr {
-			bestErr = e
-			best = i
-		}
-	}
+	best := a.bestIndex()
 	if best < 0 {
 		return ""
 	}

@@ -194,21 +194,76 @@ func (m *Monitor) ResetStages() {
 	}
 }
 
+// EstimateMode selects how an Estimator (or a sensor built on one)
+// turns its measurement history into the single number a decision
+// uses. It is the monitoring-side mirror of the adaptive controller's
+// load modes, shared by the simulated node sensors and the live stage
+// sensors so the fallback glue exists exactly once.
+type EstimateMode int
+
+const (
+	// EstimateLast uses the most recent measurement (0 before any).
+	EstimateLast EstimateMode = iota
+	// EstimatePredicted uses the forecaster battery's near-future
+	// estimate, falling back to the last measurement and then to 0.
+	EstimatePredicted
+	// EstimateOracle uses ground truth where the sensor can see it
+	// (simulated load traces); sensors without ground truth fall back
+	// to EstimateLast.
+	EstimateOracle
+)
+
+// Estimator wraps a forecaster with the fallback glue every estimate
+// path previously duplicated: feed raw measurements in, read either
+// the last value or a clamped forecast out.
+type Estimator struct {
+	fc   forecast.Forecaster
+	last float64
+}
+
+// NewEstimator returns an estimator over the given forecaster (the
+// default NWS-style battery if nil).
+func NewEstimator(fc forecast.Forecaster) *Estimator {
+	if fc == nil {
+		fc = forecast.NewDefaultBattery()
+	}
+	return &Estimator{fc: fc, last: math.NaN()}
+}
+
+// Observe feeds one measurement.
+func (e *Estimator) Observe(v float64) {
+	e.last = v
+	e.fc.Observe(v)
+}
+
+// Last returns the most recent measurement (NaN before sampling).
+func (e *Estimator) Last() float64 { return e.last }
+
+// Predicted returns the forecast of the near future clamped to
+// [lo, hi], falling back to the last measurement and then to lo.
+// Forecasts may overshoot slightly; the clamp keeps them physical.
+func (e *Estimator) Predicted(lo, hi float64) float64 {
+	p := e.fc.Predict()
+	if math.IsNaN(p) {
+		p = e.last
+	}
+	if math.IsNaN(p) {
+		return lo
+	}
+	return math.Min(math.Max(p, lo), hi)
+}
+
 // NodeSensor periodically samples one node's background load and feeds
 // a forecaster, mimicking an NWS CPU-availability sensor for that host.
 type NodeSensor struct {
 	node *grid.Node
-	fc   forecast.Forecaster
-	last float64
+	est  *Estimator
 }
 
 // NewNodeSensor returns a sensor for node backed by the given
 // forecaster (the default battery if nil).
 func NewNodeSensor(node *grid.Node, fc forecast.Forecaster) *NodeSensor {
-	if fc == nil {
-		fc = forecast.NewDefaultBattery()
-	}
-	return &NodeSensor{node: node, fc: fc, last: math.NaN()}
+	return &NodeSensor{node: node, est: NewEstimator(fc)}
 }
 
 // Node returns the sensed node.
@@ -221,23 +276,35 @@ func (s *NodeSensor) Sample(t float64) {
 	if s.node.Load != nil {
 		l = s.node.Load.At(t)
 	}
-	s.last = l
-	s.fc.Observe(l)
+	s.est.Observe(l)
 }
 
 // LastLoad returns the most recent measurement (NaN before sampling).
-func (s *NodeSensor) LastLoad() float64 { return s.last }
+func (s *NodeSensor) LastLoad() float64 { return s.est.Last() }
 
 // PredictedLoad returns the forecast of near-future load, falling back
-// to the last measurement and then to 0.
-func (s *NodeSensor) PredictedLoad() float64 {
-	p := s.fc.Predict()
-	if math.IsNaN(p) {
-		p = s.last
-	}
-	if math.IsNaN(p) {
+// to the last measurement and then to 0, clamped to [0, 0.99].
+func (s *NodeSensor) PredictedLoad() float64 { return s.est.Predicted(0, 0.99) }
+
+// Estimate returns the load number the given mode decides with: the
+// ground-truth trace for EstimateOracle, the clamped forecast for
+// EstimatePredicted, and the last measurement (0 before any) otherwise.
+// This is the one shared path the adaptive controller's per-policy
+// load estimation collapsed into.
+func (s *NodeSensor) Estimate(mode EstimateMode, now float64) float64 {
+	switch mode {
+	case EstimateOracle:
+		if s.node.Load != nil {
+			return s.node.Load.At(now)
+		}
 		return 0
+	case EstimatePredicted:
+		return s.PredictedLoad()
+	default:
+		l := s.est.Last()
+		if math.IsNaN(l) {
+			return 0
+		}
+		return l
 	}
-	// Forecasts may overshoot slightly; keep them physical.
-	return math.Min(math.Max(p, 0), 0.99)
 }

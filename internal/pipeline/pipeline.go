@@ -145,6 +145,17 @@ func (p *Pipeline) SetReplicas(i, n int) error {
 	return nil
 }
 
+// Replicas returns the current worker limit of stage i.
+func (p *Pipeline) Replicas(i int) int { return p.limits[i].Limit() }
+
+// StageTotals returns stage i's cumulative completed-item count and
+// summed service time. The live adaptive sensor diffs two readings to
+// get windowed mean service times without the pipeline keeping any
+// per-window state.
+func (p *Pipeline) StageTotals(i int) (count int64, sum time.Duration) {
+	return p.meters[i].Totals()
+}
+
 // Stats snapshots per-stage counters.
 func (p *Pipeline) Stats() []StageStats {
 	out := make([]StageStats, len(p.stages))

@@ -1,0 +1,121 @@
+package gridpipe
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// sleeper returns a stage function sleeping d per item.
+func sleeper(d time.Duration) StageFunc {
+	return func(ctx context.Context, v any) (any, error) {
+		time.Sleep(d)
+		return v, nil
+	}
+}
+
+func TestWithLiveAdaptiveValidates(t *testing.T) {
+	mk := func() *Pipeline {
+		p, err := New(
+			Stage("a", sleeper(time.Microsecond), Weight(0.01)),
+			Stage("b", sleeper(time.Microsecond), Weight(0.1), Replicable()),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := mk().WithLiveAdaptive("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if err := mk().WithLiveAdaptive(PolicyOracle); err == nil {
+		t.Fatal("oracle accepted for live adaptation")
+	}
+	p := mk()
+	if _, err := p.Process(context.Background(), []any{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WithLiveAdaptive(PolicyReactive); err == nil {
+		t.Fatal("WithLiveAdaptive accepted after Run")
+	}
+}
+
+// TestWithLiveAdaptiveGrowsBottleneck drives the facade end to end:
+// ordered results, and the heavy replicable stage grown by the live
+// controller while streaming.
+func TestWithLiveAdaptiveGrowsBottleneck(t *testing.T) {
+	p, err := New(
+		Stage("light", sleeper(300*time.Microsecond), Weight(0.01), Buffer(8)),
+		Stage("heavy", sleeper(6*time.Millisecond), Weight(0.01), Replicable(), Buffer(8)),
+		Stage("tail", sleeper(300*time.Microsecond), Weight(0.01), Buffer(8)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WithLiveAdaptive(PolicyPeriodic, LiveAdaptiveOptions{
+		Interval:   30 * time.Millisecond,
+		MaxWorkers: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]any, 300)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	out, err := p.Process(context.Background(), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v.(int) != i {
+			t.Fatalf("out of order: got %v at %d", v, i)
+		}
+	}
+	rep := p.LiveAdaptiveReport()
+	if rep.Ticks == 0 {
+		t.Fatalf("controller never ticked: %+v", rep)
+	}
+	if rep.Resizes == 0 {
+		t.Fatalf("controller never resized: %+v", rep)
+	}
+	// All headroom should have gone to the heavy stage (the only
+	// replicable one).
+	if rep.Replicas[1] < 4 {
+		t.Fatalf("heavy stage workers = %d, want ≥4 (%+v)", rep.Replicas[1], rep)
+	}
+	if rep.Replicas[0] != 1 || rep.Replicas[2] != 1 {
+		t.Fatalf("non-replicable stages resized: %+v", rep.Replicas)
+	}
+	if len(rep.Events) == 0 || rep.Events[0].To == "" {
+		t.Fatalf("events not rendered: %+v", rep.Events)
+	}
+}
+
+// TestWithLiveAdaptiveStaticIsInert: the static policy must neither
+// tick nor resize — the F11 baseline.
+func TestWithLiveAdaptiveStaticIsInert(t *testing.T) {
+	p, err := New(
+		Stage("a", sleeper(100*time.Microsecond), Weight(0.01), Replicable(), Buffer(4)),
+		Stage("b", sleeper(time.Millisecond), Weight(0.1), Replicable(), Buffer(4)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WithLiveAdaptive(PolicyStatic, LiveAdaptiveOptions{Interval: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]any, 50)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	if _, err := p.Process(context.Background(), inputs); err != nil {
+		t.Fatal(err)
+	}
+	rep := p.LiveAdaptiveReport()
+	if rep.Ticks != 0 || rep.Resizes != 0 {
+		t.Fatalf("static controller acted: %+v", rep)
+	}
+	if rep.Replicas[0] != 1 || rep.Replicas[1] != 1 {
+		t.Fatalf("static run resized: %+v", rep.Replicas)
+	}
+}

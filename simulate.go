@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"gridpipe/internal/adaptive"
+	"gridpipe/internal/adaptive/simadapt"
 	"gridpipe/internal/exec"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/sched"
@@ -230,7 +231,7 @@ func (p *Pipeline) Simulate(sg *SimGrid, opts SimOptions) (SimReport, error) {
 	if opts.KillRestart {
 		proto = exec.KillRestart
 	}
-	ctrl, err := adaptive.NewController(eng, sg.g, ex, spec, adaptive.Config{
+	ctrl, err := simadapt.New(eng, sg.g, ex, spec, simadapt.Config{
 		Policy:   pol,
 		Interval: opts.Interval,
 		Protocol: proto,
