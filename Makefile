@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench-smoke bench bench-json alloc-gate race
+.PHONY: check build vet test bench-smoke bench bench-json bench-diff alloc-gate race
 
 check: build vet test bench-smoke
 
@@ -28,12 +28,23 @@ bench:
 # Regenerate the machine-readable perf snapshot (see DESIGN.md,
 # "Benchmark protocol"; bump the file number to your PR number).
 bench-json:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_4.json
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_5.json
+
+# Perf-regression gate: run a fresh snapshot and diff it against the
+# latest committed BENCH_<n>.json — fail on >MAXREGRESS ns/op
+# regression or any allocs/op increase on a hot path (the CI
+# bench-diff job). The 20% default assumes the same machine class as
+# the snapshot; CI overrides it (cross-hardware ns/op skew), keeping
+# the alloc half of the gate exact everywhere.
+MAXREGRESS ?= 0.20
+bench-diff:
+	$(GO) run ./cmd/pipebench -bench -benchout /tmp/bench_fresh.json \
+		-diff "$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)" -maxregress $(MAXREGRESS)
 
 # Allocation-regression gate (the CI alloc-gate job): fail if any
 # hot-path micro-benchmark allocates per item.
 alloc-gate:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_4.json -maxallocs 0
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_5.json -maxallocs 0
 
 race:
 	$(GO) test -race ./...

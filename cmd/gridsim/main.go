@@ -8,9 +8,15 @@
 //
 //	gridsim -preset multisite -horizon 300
 //	gridsim -config grid.json -horizon 600 -csv
+//	gridsim -preset loaded -json
+//
+// -json emits one machine-readable document (the same tables as cell
+// arrays plus every node's sampled load series) instead of the text
+// rendering.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +34,7 @@ func main() {
 		horizon    = flag.Float64("horizon", 300, "sampling horizon in seconds")
 		step       = flag.Float64("step", 1, "sampling step in seconds")
 		csv        = flag.Bool("csv", false, "print per-node load series as CSV")
+		jsonOut    = flag.Bool("json", false, "emit the grid summary, tables, and load series as JSON")
 		seed       = flag.Uint64("seed", 42, "seed for stochastic presets")
 	)
 	flag.Parse()
@@ -38,7 +45,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Print(g.String())
+	var tables []*stats.Table
 	if churn := g.Churn(); churn != nil {
 		ct := stats.NewTable("node lifecycle schedule (churn)",
 			"t (s)", "node", "event", "availability over horizon")
@@ -46,35 +53,55 @@ func main() {
 			ct.AddRowf(ev.T, ev.Node, ev.Kind.String(), churn.Availability(ev.Node, *horizon))
 		}
 		ct.AddNote("mean grid availability over horizon: %.4f", churn.MeanAvailability(g, *horizon))
-		fmt.Println(ct.String())
+		tables = append(tables, ct)
 	}
 	tb := stats.NewTable("node load over horizon",
 		"node", "speed", "cores", "mean load", "max load", "mean eff speed")
+	var series []*stats.Series
 	for _, n := range g.Nodes() {
-		var loads []float64
+		s := stats.NewSeries(n.Name + "-load")
 		for t := 0.0; t <= *horizon; t += *step {
 			l := 0.0
 			if n.Load != nil {
 				l = n.Load.At(t)
 			}
-			loads = append(loads, l)
+			s.Append(t, l)
 		}
+		loads := s.Values()
 		mean := stats.Mean(loads)
 		tb.AddRowf(n.Name, n.Speed, n.Cores, mean, stats.Max(loads), n.Speed*(1-mean))
+		series = append(series, s)
 	}
-	fmt.Println(tb.String())
+	tables = append(tables, tb)
 
+	if *jsonOut {
+		doc := struct {
+			Nodes  int               `json:"nodes"`
+			Tables []stats.TableDoc  `json:"tables"`
+			Series []stats.SeriesDoc `json:"series"`
+		}{Nodes: g.NumNodes()}
+		for _, t := range tables {
+			doc.Tables = append(doc.Tables, t.Doc())
+		}
+		for _, s := range series {
+			doc.Series = append(doc.Series, s.Doc())
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	fmt.Print(g.String())
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
 	if *csv {
-		for _, n := range g.Nodes() {
-			s := stats.NewSeries(n.Name + "-load")
-			for t := 0.0; t <= *horizon; t += *step {
-				l := 0.0
-				if n.Load != nil {
-					l = n.Load.At(t)
-				}
-				s.Append(t, l)
-			}
-			fmt.Printf("--- %s ---\n%s", n.Name, s.CSV())
+		for _, s := range series {
+			fmt.Printf("--- %s ---\n%s", s.Name, s.CSV())
 		}
 	}
 }

@@ -5,9 +5,10 @@
 // Usage:
 //
 //	pipebench -list
-//	pipebench -exp F1 [-seed 42] [-csv]
-//	pipebench -all [-seed 42] [-workers N]
+//	pipebench -exp F1 [-seed 42] [-csv] [-json]
+//	pipebench -all [-seed 42] [-workers N] [-json]
 //	pipebench -bench [-benchout BENCH_1.json] [-maxallocs 0]
+//	pipebench -bench -diff BENCH_4.json [-maxregress 0.20]
 //
 // -all fans the experiments across a bounded worker pool (default one
 // worker per CPU); every experiment seeds its own RNG streams, so the
@@ -48,10 +49,13 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		seed     = flag.Uint64("seed", 42, "random seed")
 		csv      = flag.Bool("csv", false, "also print figure series as CSV")
+		jsonOut  = flag.Bool("json", false, "print experiment results as JSON (one document per experiment)")
 		outdir   = flag.String("outdir", "", "write every table and series as CSV files into this directory")
 		benchRun = flag.Bool("bench", false, "run the hot-path micro-benchmark suite")
 		benchOut = flag.String("benchout", "BENCH_1.json", "file the -bench results are written to")
 		maxAlloc = flag.Int("maxallocs", -1, "with -bench: fail if any hot-path benchmark exceeds this allocs/op (-1 = no gate)")
+		diffPath = flag.String("diff", "", "with -bench: compare against this BENCH_*.json snapshot and fail on regression")
+		maxRegr  = flag.Float64("maxregress", 0.20, "with -diff: maximum tolerated ns/op regression ratio")
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for -all (1 = sequential)")
 	)
 	flag.Parse()
@@ -60,7 +64,7 @@ func main() {
 	case *list:
 		listExperiments(os.Stdout)
 	case *benchRun:
-		if err := runBench(*benchOut, *maxAlloc); err != nil {
+		if err := runBench(*benchOut, *maxAlloc, *diffPath, *maxRegr); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -74,7 +78,7 @@ func main() {
 				failed = true
 				continue
 			}
-			if err := emitOne(out.Result, *csv, *outdir); err != nil {
+			if err := emitOne(out.Result, *csv, *jsonOut, *outdir); err != nil {
 				fmt.Fprintf(os.Stderr, "pipebench: %s: %v\n", out.Experiment.ID, err)
 				failed = true
 			}
@@ -91,7 +95,7 @@ func main() {
 			listExperiments(os.Stderr)
 			os.Exit(1)
 		}
-		if err := runOne(e, *seed, *csv, *outdir); err != nil {
+		if err := runOne(e, *seed, *csv, *jsonOut, *outdir); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
@@ -136,8 +140,9 @@ var seedBaseline = []bench.MicroResult{
 }
 
 // runBench executes the micro suite, writes the JSON report, and
-// applies the allocation gate (maxAlloc < 0 disables it).
-func runBench(out string, maxAlloc int) error {
+// applies the allocation gate (maxAlloc < 0 disables it) and the
+// snapshot-regression gate (diffPath empty disables it).
+func runBench(out string, maxAlloc int, diffPath string, maxRegress float64) error {
 	fmt.Printf("running %d hot-path micro-benchmarks...\n", len(bench.Micros()))
 	rep := benchReport{
 		Bench:        strings.TrimSuffix(filepath.Base(out), ".json"),
@@ -178,23 +183,101 @@ func runBench(out string, maxAlloc int) error {
 		}
 		fmt.Printf("allocation gate passed: every hot path at ≤ %d allocs/op\n", maxAlloc)
 	}
+	if diffPath != "" {
+		if err := diffBench(rep.Micro, diffPath, maxRegress); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
-func runOne(e bench.Experiment, seed uint64, csv bool, outdir string) error {
+// diffBench compares a fresh micro run against a committed snapshot:
+// any benchmark whose ns/op regressed by more than maxRegress, or
+// whose allocs/op increased at all, fails the gate. Benchmarks present
+// on only one side are reported informationally (a new benchmark is
+// not a regression); seed-reference rows are exempt like everywhere
+// else.
+func diffBench(fresh []bench.MicroResult, diffPath string, maxRegress float64) error {
+	data, err := os.ReadFile(diffPath)
+	if err != nil {
+		return fmt.Errorf("diff baseline: %w", err)
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("diff baseline %s: %w", diffPath, err)
+	}
+	baseline := map[string]bench.MicroResult{}
+	for _, m := range base.Micro {
+		baseline[m.Name] = m
+	}
+	var regressions []string
+	fmt.Printf("diff against %s (bench %s, %s):\n", diffPath, base.Bench, base.GeneratedAt)
+	seen := map[string]bool{}
+	for _, m := range fresh {
+		if strings.Contains(m.Name, "seed") {
+			continue
+		}
+		seen[m.Name] = true
+		b, ok := baseline[m.Name]
+		if !ok {
+			fmt.Printf("  %-30s new benchmark (no baseline)\n", m.Name)
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = m.NsPerOp/b.NsPerOp - 1
+		}
+		fmt.Printf("  %-30s ns/op %10.1f -> %10.1f (%+5.1f%%)  allocs %d -> %d\n",
+			m.Name, b.NsPerOp, m.NsPerOp, 100*ratio, b.AllocsPerOp, m.AllocsPerOp)
+		if ratio > maxRegress {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s ns/op regressed %.1f%% (limit %.0f%%)", m.Name, 100*ratio, 100*maxRegress))
+		}
+		if m.AllocsPerOp > b.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s allocs/op grew %d -> %d", m.Name, b.AllocsPerOp, m.AllocsPerOp))
+		}
+	}
+	// The other side of the informational report: baseline benchmarks
+	// the fresh run no longer has (renamed or deleted hot paths).
+	for _, b := range base.Micro {
+		if strings.Contains(b.Name, "seed") || seen[b.Name] {
+			continue
+		}
+		fmt.Printf("  %-30s missing from fresh run (renamed or removed?)\n", b.Name)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("bench-diff gate: %s", strings.Join(regressions, "; "))
+	}
+	fmt.Println("bench-diff gate passed")
+	return nil
+}
+
+func runOne(e bench.Experiment, seed uint64, csv, jsonOut bool, outdir string) error {
 	res, err := e.Run(seed)
 	if err != nil {
 		return err
 	}
-	return emitOne(res, csv, outdir)
+	return emitOne(res, csv, jsonOut, outdir)
 }
 
-// emitOne prints (and optionally exports) one experiment result.
-func emitOne(res *bench.Result, csv bool, outdir string) error {
-	fmt.Print(res.String())
-	if csv {
-		for _, s := range res.Series {
-			fmt.Printf("\n--- series %s ---\n%s", s.Name, s.CSV())
+// emitOne prints (and optionally exports) one experiment result. With
+// jsonOut the result is one JSON document (tables as cell arrays,
+// series as [t, v] point lists) instead of the aligned text tables —
+// with -all, one document per experiment in ID order.
+func emitOne(res *bench.Result, csv, jsonOut bool, outdir string) error {
+	if jsonOut {
+		data, err := json.MarshalIndent(res.Doc(), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(res.String())
+		if csv {
+			for _, s := range res.Series {
+				fmt.Printf("\n--- series %s ---\n%s", s.Name, s.CSV())
+			}
 		}
 	}
 	if outdir != "" {
@@ -202,7 +285,9 @@ func emitOne(res *bench.Result, csv bool, outdir string) error {
 			return err
 		}
 	}
-	fmt.Println()
+	if !jsonOut {
+		fmt.Println()
+	}
 	return nil
 }
 

@@ -55,6 +55,7 @@ package gridpipe
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"gridpipe/internal/adaptive"
@@ -157,8 +158,13 @@ type Pipeline struct {
 	defs  []StageDef  // flattened, in topological order
 	graph *topo.Graph // data-flow over the flattened stages
 	spec  model.PipelineSpec
-	live  *pipeline.Pipeline // built lazily; single-use
 
+	// mu guards the live build/adaptive state below: the live pipeline
+	// is single-use, and concurrent Run/Process callers racing past an
+	// unguarded nil check would both "win". With the lock, the second
+	// caller gets a clear single-use error instead of a corrupted run.
+	mu       sync.Mutex
+	live     *pipeline.Pipeline    // built lazily; single-use
 	liveCfg  *liveadapt.Config     // set by WithLiveAdaptive
 	liveCtrl *liveadapt.Controller // built when Run starts
 }
@@ -291,7 +297,8 @@ func (p *Pipeline) NumStages() int { return len(p.defs) }
 // Graph returns the pipeline's stage graph.
 func (p *Pipeline) Graph() *topo.Graph { return p.graph }
 
-// buildLive constructs the single-use live pipeline.
+// buildLive constructs the single-use live pipeline. The caller must
+// hold p.mu.
 func (p *Pipeline) buildLive() (*pipeline.Pipeline, error) {
 	if p.live != nil {
 		return nil, fmt.Errorf("gridpipe: live pipeline already running (single-use)")
@@ -345,9 +352,6 @@ type LiveAdaptiveOptions struct {
 // the controller inert; "oracle" is simulation-only). Must be called
 // before Run.
 func (p *Pipeline) WithLiveAdaptive(policy string, opts ...LiveAdaptiveOptions) error {
-	if p.live != nil {
-		return fmt.Errorf("gridpipe: WithLiveAdaptive after the live pipeline started")
-	}
 	pol, err := parsePolicy(policy)
 	if err != nil {
 		return err
@@ -359,6 +363,11 @@ func (p *Pipeline) WithLiveAdaptive(policy string, opts ...LiveAdaptiveOptions) 
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.live != nil {
+		return fmt.Errorf("gridpipe: WithLiveAdaptive after the live pipeline started")
+	}
 	p.liveCfg = &liveadapt.Config{
 		Policy:         pol,
 		Interval:       o.Interval,
@@ -366,6 +375,24 @@ func (p *Pipeline) WithLiveAdaptive(policy string, opts ...LiveAdaptiveOptions) 
 		HysteresisGain: o.HysteresisGain,
 		Cooldown:       o.Cooldown,
 	}
+	return nil
+}
+
+// withLiveBudget arms live adaptation with a cluster-provided config
+// (shared worker budget included). An explicit WithLiveAdaptive keeps
+// its policy and thresholds; only the budget hook is injected.
+func (p *Pipeline) withLiveBudget(cfg liveadapt.Config) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.live != nil {
+		return fmt.Errorf("gridpipe: cluster Process after the live pipeline started")
+	}
+	if p.liveCfg != nil {
+		p.liveCfg.BudgetCap = cfg.BudgetCap
+		p.liveCfg.MaxWorkers = cfg.MaxWorkers
+		return nil
+	}
+	p.liveCfg = &cfg
 	return nil
 }
 
@@ -381,13 +408,19 @@ func (p *Pipeline) liveStageInfo() []liveadapt.StageInfo {
 // Process runs the pipeline live over the inputs and returns outputs in
 // input order.
 func (p *Pipeline) Process(ctx context.Context, inputs []any) ([]any, error) {
+	// One critical section for the config check and the build: a
+	// concurrent WithLiveAdaptive cannot slip in between and be
+	// silently ignored.
+	p.mu.Lock()
 	if p.liveCfg == nil {
 		lp, err := p.buildLive()
+		p.mu.Unlock()
 		if err != nil {
 			return nil, err
 		}
 		return lp.Process(ctx, inputs)
 	}
+	p.mu.Unlock()
 	// Run is wired before the feeder starts: if Run refuses (say, an
 	// unreplicable pipeline under an adaptive policy) the feeder must
 	// not be left blocked on a channel nobody will ever read.
@@ -425,19 +458,25 @@ func (p *Pipeline) Process(ctx context.Context, inputs []any) ([]any, error) {
 // WithLiveAdaptive configured, the adaptation loop starts with the
 // pipeline and stops when the output drains.
 func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan error, error) {
+	p.mu.Lock()
 	lp, err := p.buildLive()
 	if err != nil {
+		p.mu.Unlock()
 		return nil, nil, err
 	}
-	if p.liveCfg == nil {
+	cfg := p.liveCfg
+	p.mu.Unlock()
+	if cfg == nil {
 		out, errs := lp.Run(ctx, inputs)
 		return out, errs, nil
 	}
-	ctrl, err := liveadapt.ForPipeline(lp, p.liveStageInfo(), *p.liveCfg)
+	ctrl, err := liveadapt.ForPipeline(lp, p.liveStageInfo(), *cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	p.mu.Lock()
 	p.liveCtrl = ctrl
+	p.mu.Unlock()
 	out, errs := lp.Run(ctx, inputs)
 	ctrl.Start()
 	tapped := make(chan any)
@@ -482,15 +521,18 @@ type LiveAdaptiveReport struct {
 // (zero value when WithLiveAdaptive was not configured or Run has not
 // started).
 func (p *Pipeline) LiveAdaptiveReport() LiveAdaptiveReport {
-	if p.liveCtrl == nil {
+	p.mu.Lock()
+	ctrl := p.liveCtrl
+	p.mu.Unlock()
+	if ctrl == nil {
 		return LiveAdaptiveReport{}
 	}
-	st := p.liveCtrl.Stats()
+	st := ctrl.Stats()
 	rep := LiveAdaptiveReport{
 		Ticks:    st.Ticks,
 		Searches: st.Searches,
 		Resizes:  st.Remaps,
-		Replicas: p.liveCtrl.Replicas(),
+		Replicas: ctrl.Replicas(),
 	}
 	for _, ev := range st.Events {
 		rep.Events = append(rep.Events, LiveAdaptationEvent{
@@ -507,17 +549,23 @@ func (p *Pipeline) LiveAdaptiveReport() LiveAdaptiveReport {
 // SetReplicas adjusts a running live stage's worker limit. Stages are
 // indexed in flattened declaration order (see Spec).
 func (p *Pipeline) SetReplicas(stage, n int) error {
-	if p.live == nil {
+	p.mu.Lock()
+	lp := p.live
+	p.mu.Unlock()
+	if lp == nil {
 		return fmt.Errorf("gridpipe: pipeline not running live")
 	}
-	return p.live.SetReplicas(stage, n)
+	return lp.SetReplicas(stage, n)
 }
 
 // LiveStats snapshots per-stage live counters (nil if not running
 // live).
 func (p *Pipeline) LiveStats() []pipeline.StageStats {
-	if p.live == nil {
+	p.mu.Lock()
+	lp := p.live
+	p.mu.Unlock()
+	if lp == nil {
 		return nil
 	}
-	return p.live.Stats()
+	return lp.Stats()
 }

@@ -111,6 +111,11 @@ type Config struct {
 	// simulator's elastic reserves: capacity the controller may fold
 	// in when the observed throughput degrades.
 	MaxWorkers int
+	// BudgetCap, when non-nil, overrides MaxWorkers at every decision:
+	// it is consulted per proposal, so a shared cluster budget
+	// (conc.WorkerBudget) re-divided among concurrent runs takes
+	// effect at the controller's next tick.
+	BudgetCap func() int
 }
 
 func (c *Config) fillDefaults() {
@@ -392,7 +397,13 @@ func (s *liveSub) Propose(loads []float64) (*adaptive.Proposal, bool) {
 	if replicable == 0 {
 		return nil, false
 	}
-	avail := s.cfg.MaxWorkers - fixed
+	budget := s.cfg.MaxWorkers
+	if s.cfg.BudgetCap != nil {
+		if b := s.cfg.BudgetCap(); b > 0 {
+			budget = b
+		}
+	}
+	avail := budget - fixed
 	if avail < replicable {
 		avail = replicable // budget floor: one worker per replicable stage
 	}

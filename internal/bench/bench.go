@@ -26,6 +26,27 @@ type Result struct {
 	Series []*stats.Series
 }
 
+// ResultDoc is the machine-readable rendering of one experiment
+// result, emitted by pipebench -json.
+type ResultDoc struct {
+	ID     string            `json:"id"`
+	Title  string            `json:"title"`
+	Tables []stats.TableDoc  `json:"tables"`
+	Series []stats.SeriesDoc `json:"series,omitempty"`
+}
+
+// Doc returns the result's machine-readable form.
+func (r *Result) Doc() ResultDoc {
+	d := ResultDoc{ID: r.ID, Title: r.Title, Tables: []stats.TableDoc{}}
+	for _, t := range r.Tables {
+		d.Tables = append(d.Tables, t.Doc())
+	}
+	for _, s := range r.Series {
+		d.Series = append(d.Series, s.Doc())
+	}
+	return d
+}
+
 // String renders every table and a short series inventory.
 func (r *Result) String() string {
 	var b strings.Builder

@@ -1,0 +1,225 @@
+// Adaptive cross-job arbitration: the cluster wiring of the
+// substrate-agnostic adaptive.Controller (internal/adaptive, PR 4).
+//
+//   - Sensor: the grid's NWS-style node sensors provide per-node load
+//     estimates (last/forecast/oracle, exactly as simadapt); the
+//     observed signal is the weighted max-min objective over the
+//     active jobs — min_j observed-throughput_j / weight_j — and the
+//     "slowdown" vector is each job's degradation factor, so the
+//     imbalance trigger fires on unfairness (one tenant degrading far
+//     more than another), not on stage spread;
+//   - Actuator: the arbiter re-divides the nodes under the current
+//     load estimates, each job's mapping is re-searched inside its new
+//     lease against the others' reservations, and every moved job is
+//     remapped under the configured protocol;
+//   - Clock: the shared engine's virtual-time ticker.
+//
+// Hysteresis and cooldown come from the shared controller core: a
+// re-division actuates only when the predicted post-arbitration
+// objective clears HysteresisGain × the current one.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gridpipe/internal/adaptive"
+	"gridpipe/internal/model"
+	"gridpipe/internal/monitor"
+	"gridpipe/internal/sched"
+)
+
+// arbSub implements adaptive.Sensor and adaptive.Actuator over one
+// cluster.
+type arbSub struct {
+	c       *Cluster
+	slowBuf []float64
+}
+
+func (s *arbSub) Sample(now float64) {
+	for _, ns := range s.c.sensors {
+		ns.Sample(now)
+	}
+}
+
+// Loads returns the per-node background-load vector the policy
+// decides with, through the shared monitor.Estimate path.
+func (s *arbSub) Loads(mode adaptive.LoadMode, now float64) []float64 {
+	m := monitor.EstimateLast
+	switch mode {
+	case adaptive.LoadPredicted:
+		m = monitor.EstimatePredicted
+	case adaptive.LoadOracle:
+		m = monitor.EstimateOracle
+	}
+	loads := make([]float64, len(s.c.sensors))
+	for i, ns := range s.c.sensors {
+		loads[i] = ns.Estimate(m, now)
+	}
+	return loads
+}
+
+// Throughput returns the observed fairness objective: the minimum
+// weighted exit rate across active jobs, NaN while no job has signal.
+func (s *arbSub) Throughput(window, now float64) float64 {
+	out := math.NaN()
+	for _, j := range s.c.active() {
+		obs := j.ex.Monitor().RecentThroughput(window, now)
+		if math.IsNaN(obs) {
+			continue
+		}
+		w := obs / j.spec.NormWeight()
+		if math.IsNaN(out) || w < out {
+			out = w
+		}
+	}
+	return out
+}
+
+// Slowdowns reports each active job's degradation factor — predicted
+// over observed throughput — so the controller's imbalance trigger
+// reads cross-job unfairness.
+func (s *arbSub) Slowdowns() []float64 {
+	actives := s.c.active()
+	if cap(s.slowBuf) < len(actives) {
+		s.slowBuf = make([]float64, len(actives))
+	}
+	s.slowBuf = s.slowBuf[:len(actives)]
+	for i, j := range actives {
+		obs := j.ex.Monitor().RecentThroughput(s.c.cfg.ThroughputWindow, s.c.eng.Now())
+		if math.IsNaN(obs) || obs <= 0 || j.pred.Throughput <= 0 {
+			s.slowBuf[i] = math.NaN()
+			continue
+		}
+		s.slowBuf[i] = j.pred.Throughput / obs
+	}
+	return s.slowBuf
+}
+
+// Expected rates the current leases under the load estimates: the
+// weighted max-min objective of every active job's current mapping.
+func (s *arbSub) Expected(loads []float64) (reference, hysteresis float64) {
+	obj := math.NaN()
+	for _, j := range s.c.active() {
+		pred, err := model.Predict(s.c.g, j.spec.Spec, j.ex.Mapping(), loads)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: predict job %q: %v", j.spec.Name, err))
+		}
+		w := pred.Throughput / j.spec.NormWeight()
+		if math.IsNaN(obj) || w < obj {
+			obj = w
+		}
+	}
+	return obj, obj
+}
+
+// arbPlan is one proposed cross-job re-division.
+type arbPlan struct {
+	jobs     []*Job
+	masks    []model.CapacityMask
+	mappings []model.Mapping
+	preds    []model.Prediction
+}
+
+// leases renders a plan (or the current state) for the event log.
+type leases string
+
+func (l leases) String() string { return string(l) }
+
+func renderLeases(jobs []*Job, mappings []model.Mapping) leases {
+	var b strings.Builder
+	for i, j := range jobs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%s", j.spec.Name, mappings[i])
+	}
+	return leases(b.String())
+}
+
+// Propose re-divides the grid under the load estimates: new leases
+// from the arbiter, new mappings searched inside them against the
+// other tenants' reservations, and the predicted post-arbitration
+// objective.
+func (s *arbSub) Propose(loads []float64) (*adaptive.Proposal, bool) {
+	actives := s.c.active()
+	if len(actives) == 0 {
+		return nil, false
+	}
+	tenants := make([]Tenant, len(actives))
+	for i, a := range actives {
+		tenants[i] = Tenant{Weight: a.spec.NormWeight(), Floor: a.spec.Floor(), Pin: a.pin}
+	}
+	masks, err := Arbitrate(s.c.g, nil, tenants)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: arbitrate: %v", err))
+	}
+	plan := &arbPlan{jobs: actives, masks: masks}
+	resv := sched.NewReservations(s.c.g)
+	objective := math.NaN()
+	changed := false
+	cur := make([]model.Mapping, len(actives))
+	for i, a := range actives {
+		cur[i] = a.ex.Mapping()
+		m, pred, err := sched.SearchResidual(a.searcher, s.c.g, a.spec.Spec, loads, masks[i], resv)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: job %q search: %v", a.spec.Name, err))
+		}
+		m, pred, err = sched.ImproveResidual(s.c.g, a.spec.Spec, m, loads, s.c.cfg.MaxReplicas, masks[i], resv)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: job %q replicate: %v", a.spec.Name, err))
+		}
+		if err := resv.Add(a.spec.Spec, m, loads); err != nil {
+			panic(fmt.Sprintf("cluster: job %q reserve: %v", a.spec.Name, err))
+		}
+		plan.mappings = append(plan.mappings, m)
+		plan.preds = append(plan.preds, pred)
+		if !m.Equal(cur[i]) {
+			changed = true
+		}
+		w := pred.Throughput / a.spec.NormWeight()
+		if math.IsNaN(objective) || w < objective {
+			objective = w
+		}
+	}
+	if !changed {
+		return nil, true
+	}
+	return &adaptive.Proposal{
+		From:      renderLeases(actives, cur),
+		To:        renderLeases(actives, plan.mappings),
+		Predicted: objective,
+		Ref:       plan,
+	}, true
+}
+
+// Apply actuates a plan: every job whose mapping moved is remapped and
+// its lease updated.
+func (s *arbSub) Apply(p *adaptive.Proposal) adaptive.Actuation {
+	plan := p.Ref.(*arbPlan)
+	var act adaptive.Actuation
+	s.c.arbitrations++
+	for i, j := range plan.jobs {
+		if j.state != JobRunning {
+			continue // finished between Propose and Apply (same tick: cannot happen, but stay safe)
+		}
+		j.mask = plan.masks[i]
+		if !plan.mappings[i].Equal(j.ex.Mapping()) {
+			st, err := j.ex.Remap(plan.mappings[i], s.c.cfg.Protocol)
+			if err != nil {
+				panic(fmt.Sprintf("cluster: job %q remap: %v", j.spec.Name, err))
+			}
+			act.Moved += st.Moved
+			act.Killed += st.Killed
+			act.RedoneWork += st.RedoneWork
+			if st.Changed {
+				act.Changed = true
+				j.remaps++
+			}
+		}
+		j.mapping = plan.mappings[i]
+		j.pred = plan.preds[i]
+	}
+	return act
+}

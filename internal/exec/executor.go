@@ -65,6 +65,12 @@ type Options struct {
 	// survives before it is dropped and counted lost. Zero means the
 	// default (8); negative means never drop.
 	MaxRetries int
+	// Share, when non-nil, is the cluster-wide contention ledger this
+	// executor multiplexes through: several executors attached to one
+	// NodeShares split each node's capacity proportionally (see
+	// share.go). Nil — the single-job case — keeps the executor
+	// bit-identical to the pre-cluster behaviour.
+	Share *NodeShares
 }
 
 // RemapProtocol selects how in-flight work is handled during a remap.
@@ -145,6 +151,12 @@ type task struct {
 	completion sim.Event // pending while in service
 	serviceT0  float64
 	svcIdx     int32 // position in the node's in-service slice
+	// Multi-tenant share accounting (cluster runs only; see share.go):
+	// remaining reference-seconds, the time progress was last banked,
+	// and the capacity share it is progressing under.
+	rem   float64
+	lastT float64
+	mult  float64
 }
 
 // edgeHop is one precomputed routing entry: successor stage and the
@@ -182,6 +194,9 @@ type Executor struct {
 	mon   *monitor.Monitor
 	nodes []*nodeServer
 	links map[linkKey]*linkServer
+	// share is the cluster contention ledger (nil for single-job runs;
+	// every multi-tenant branch is guarded on it).
+	share *NodeShares
 
 	rr []int // round-robin counters per stage
 
@@ -286,7 +301,23 @@ func New(eng *sim.Engine, g *grid.Grid, spec model.PipelineSpec, m model.Mapping
 	if opts.ArrivalRate > 0 {
 		e.poisson = newPoissonSource(opts.Seed, opts.ArrivalRate)
 	}
+	if opts.Share != nil {
+		if err := opts.Share.attach(e); err != nil {
+			return nil, err
+		}
+		e.share = opts.Share
+	}
 	return e, nil
+}
+
+// SetItemHooks registers exactly-once callbacks fired when an item
+// completes or is dropped (by admitted sequence number). The cluster
+// layer uses them to track per-job progress while several executors
+// share one engine; the churn conservation tests use them to pin the
+// admitted == completed + lost + in-flight invariant.
+func (e *Executor) SetItemHooks(onComplete, onLost func(seq int)) {
+	e.onComplete = onComplete
+	e.onLost = onLost
 }
 
 // Monitor exposes the run-time instrumentation.

@@ -60,12 +60,19 @@ func (s *nodeServer) dispatch() {
 }
 
 func (s *nodeServer) start(t *task) {
+	now := s.e.eng.Now()
+	work := s.e.serviceWork(t.it, t.stage)
+	if sh := s.e.share; sh != nil {
+		// Account the newcomer before it joins the in-service slice so
+		// the rescale pass touches only the tasks already running.
+		mult := sh.beginService(s.node.ID, now)
+		t.rem, t.lastT, t.mult = work, now, mult
+		work = work / mult
+	}
 	s.busy++
 	t.svcIdx = int32(len(s.inService))
 	s.inService = append(s.inService, t)
-	now := s.e.eng.Now()
 	t.serviceT0 = now
-	work := s.e.serviceWork(t.it, t.stage)
 	dur := s.node.ServiceDuration(work, now)
 	t.completion = s.e.eng.ScheduleArg(dur, s.finishFn, t)
 }
@@ -84,6 +91,9 @@ func (s *nodeServer) finish(t *task) {
 	s.unservice(t)
 	s.busy--
 	now := s.e.eng.Now()
+	if sh := s.e.share; sh != nil {
+		sh.endService(s.node.ID, now)
+	}
 	it, stage, dur := t.it, t.stage, now-t.serviceT0
 	// Recycle before routing: the transfer/delivery below may enqueue
 	// the item's next stage and reuse this very task.
@@ -105,6 +115,9 @@ func (s *nodeServer) abort(t *task) {
 	t.completion = sim.Event{}
 	s.unservice(t)
 	s.busy--
+	if sh := s.e.share; sh != nil {
+		sh.endService(s.node.ID, s.e.eng.Now())
+	}
 	s.dispatch()
 }
 

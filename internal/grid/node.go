@@ -108,6 +108,31 @@ func (n *Node) ServiceDuration(work, start float64) float64 {
 	panic(fmt.Sprintf("grid: node %q made no progress on %v work", n.Name, work))
 }
 
+// WorkIn returns the reference-seconds of work the node processes in
+// [start, start+dur] at full capacity, integrating the time-varying
+// effective speed with the same quantum as ServiceDuration — its
+// inverse, up to quantisation at the interval tail. The cluster
+// executor uses it to account partial service when a task's capacity
+// share changes mid-service (see exec.NodeShares).
+func (n *Node) WorkIn(start, dur float64) float64 {
+	if dur <= 0 || math.IsNaN(dur) {
+		return 0
+	}
+	q := n.Quantum
+	if q <= 0 {
+		q = DefaultQuantum
+	}
+	done := 0.0
+	t := start
+	left := dur
+	for left > q {
+		done += n.EffectiveSpeed(t) * q
+		t += q
+		left -= q
+	}
+	return done + n.EffectiveSpeed(t)*left
+}
+
 // MeanLoad returns the node's time-averaged background load over
 // [t0, t1], sampled at the quantum. The analytic mapping model uses it
 // as the load estimate when no forecaster is plugged in.

@@ -43,6 +43,17 @@ func (r *Rand) Derive(label uint64) *Rand {
 	return &Rand{state: s}
 }
 
+// SeedFor derives the seed of an independent keyed sub-stream from a
+// root seed: rng.New(SeedFor(root, label)) produces exactly the stream
+// rng.New(root).Derive(label) does. Components that take a plain seed
+// (work samplers, searchers, per-job arrival processes) use it so a
+// multi-job run's randomness is a pure function of (root, label) — the
+// cluster scheduler derives one label per job, which keeps every job's
+// stream identical regardless of how jobs interleave on the grid.
+func SeedFor(root uint64, label uint64) uint64 {
+	return New(root).Derive(label).state
+}
+
 func mix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

@@ -1,0 +1,94 @@
+// Reservation-aware search: when several jobs share one grid, a
+// mapping for one job must be scored against the capacity the other
+// jobs' mappings already claim, not against bare nodes. Reservations
+// turns a set of co-resident (spec, mapping) pairs into a per-node
+// utilisation vector — NodeBusy per item × predicted rate, the
+// fraction of each node the tenant saturates — which composes with
+// background-load estimates into the residual-capacity load vector the
+// ordinary SearchAvail machinery optimises over. The cluster arbiter
+// (internal/cluster) rebuilds one per arbitration round.
+package sched
+
+import (
+	"fmt"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+)
+
+// Reservations is the per-node capacity other tenants have claimed.
+type Reservations struct {
+	g    *grid.Grid
+	used []float64 // fraction of each node's capacity reserved
+}
+
+// NewReservations returns an empty reservation ledger for the grid.
+func NewReservations(g *grid.Grid) *Reservations {
+	return &Reservations{g: g, used: make([]float64, g.NumNodes())}
+}
+
+// Reset clears the ledger for a new arbitration round.
+func (r *Reservations) Reset() {
+	for i := range r.used {
+		r.used[i] = 0
+	}
+}
+
+// Add claims the capacity one tenant's mapping saturates at the given
+// background loads: the analytic model rates the mapping, and each
+// node is charged its busy-time per item times the predicted rate —
+// the utilisation a saturated run imposes.
+func (r *Reservations) Add(spec model.PipelineSpec, m model.Mapping, loads []float64) error {
+	pred, err := model.Predict(r.g, spec, m, loads)
+	if err != nil {
+		return fmt.Errorf("sched: reserve: %w", err)
+	}
+	for n, busy := range pred.NodeBusy {
+		r.used[n] += busy * pred.Throughput
+	}
+	return nil
+}
+
+// Used returns the reserved utilisation of node n in [0, 1+].
+func (r *Reservations) Used(n grid.NodeID) float64 { return r.used[n] }
+
+// Residual folds the ledger into a background-load vector: the
+// returned loads[n] is the base estimate plus the reserved fraction,
+// clamped to the model's 0.99 saturation cap. base may be nil (idle).
+func (r *Reservations) Residual(base []float64) []float64 {
+	out := make([]float64, len(r.used))
+	for n := range out {
+		l := r.used[n]
+		if base != nil && n < len(base) && base[n] > 0 {
+			l += base[n]
+		}
+		if l > 0.99 {
+			l = 0.99
+		}
+		out[n] = l
+	}
+	return out
+}
+
+// SearchResidual runs a fault- and reservation-aware search: the
+// strategy sees the residual capacity (background load plus the
+// ledger's claims) and only the nodes the availability mask admits.
+// A nil ledger degenerates to SearchAvailable — the one-tenant case.
+func SearchResidual(s Searcher, g *grid.Grid, spec model.PipelineSpec, base []float64, avail []bool, resv *Reservations) (model.Mapping, model.Prediction, error) {
+	loads := base
+	if resv != nil {
+		loads = resv.Residual(base)
+	}
+	return SearchAvailable(s, g, spec, loads, avail)
+}
+
+// ImproveResidual is the replication pass of SearchResidual: bottleneck
+// stages replicate onto additional admitted nodes while the prediction
+// under residual capacity improves.
+func ImproveResidual(g *grid.Grid, spec model.PipelineSpec, m model.Mapping, base []float64, maxReplicas int, avail []bool, resv *Reservations) (model.Mapping, model.Prediction, error) {
+	loads := base
+	if resv != nil {
+		loads = resv.Residual(base)
+	}
+	return ImproveWithReplicationAvail(g, spec, m, loads, maxReplicas, avail)
+}

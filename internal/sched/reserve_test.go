@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"testing"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+)
+
+func twoNodeGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g, err := grid.Homogeneous(2, 1, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestReservationsChargeUtilisation(t *testing.T) {
+	g := twoNodeGrid(t)
+	spec := model.Balanced(1, 0.5, 0)
+	r := NewReservations(g)
+	// One stage of 0.5s work on node 0: a saturated tenant runs at
+	// 2 items/s and keeps node 0 100% busy.
+	if err := r.Add(spec, model.FromNodes(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Used(0); got < 0.99 {
+		t.Fatalf("node 0 reserved %v, want ~1 (saturated tenant)", got)
+	}
+	if got := r.Used(1); got != 0 {
+		t.Fatalf("node 1 reserved %v, want 0", got)
+	}
+	res := r.Residual(nil)
+	if res[0] != 0.99 {
+		t.Fatalf("residual load must clamp at the model's 0.99 cap, got %v", res[0])
+	}
+}
+
+// TestSearchResidualAvoidsReservedNode: with node 0 fully reserved by
+// another tenant, the search must place the new job on node 1.
+func TestSearchResidualAvoidsReservedNode(t *testing.T) {
+	g := twoNodeGrid(t)
+	spec := model.Balanced(1, 0.5, 0)
+	r := NewReservations(g)
+	if err := r.Add(spec, model.FromNodes(0), nil); err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := SearchResidual(LocalSearch{Seed: 1}, g, spec, nil, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Assign[0][0] != 1 {
+		t.Fatalf("search placed the job on the saturated node: %s", m)
+	}
+}
+
+// TestSearchZeroResidualCapacity: every node fully reserved is not an
+// error — the model clamps at 0.99 and the search still returns the
+// least-bad mapping (the cluster then runs it under proportional
+// sharing).
+func TestSearchZeroResidualCapacity(t *testing.T) {
+	g := twoNodeGrid(t)
+	spec := model.Balanced(2, 0.5, 0)
+	r := NewReservations(g)
+	if err := r.Add(spec, model.FromNodes(0, 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(spec, model.FromNodes(1, 0), nil); err != nil {
+		t.Fatal(err)
+	}
+	m, pred, err := SearchResidual(LocalSearch{Seed: 1}, g, spec, nil, nil, r)
+	if err != nil {
+		t.Fatalf("zero residual capacity must degrade, not fail: %v", err)
+	}
+	if pred.Throughput <= 0 {
+		t.Fatalf("prediction must stay positive under the clamp, got %v", pred.Throughput)
+	}
+	if err := m.Validate(spec.NumStages(), g.NumNodes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearchAllNodesExcluded: an all-false availability mask (every
+// node draining or down) is a clean error on every strategy, never a
+// panic.
+func TestSearchAllNodesExcluded(t *testing.T) {
+	g := twoNodeGrid(t)
+	spec := model.Balanced(2, 0.5, 0)
+	avail := []bool{false, false}
+	for _, s := range []Searcher{Exhaustive{}, ContiguousDP{}, Greedy{}, LocalSearch{Seed: 1}} {
+		if _, _, err := SearchAvailable(s, g, spec, nil, avail); err == nil {
+			t.Fatalf("strategy %s accepted an empty node set", s.Name())
+		}
+	}
+	if _, _, err := SearchResidual(LocalSearch{Seed: 1}, g, spec, nil, avail, NewReservations(g)); err == nil {
+		t.Fatal("SearchResidual accepted an empty node set")
+	}
+	if _, _, err := ImproveResidual(g, spec, model.FromNodes(0, 1), nil, 0, avail, nil); err == nil {
+		t.Fatal("ImproveResidual accepted an empty node set")
+	}
+}
