@@ -19,7 +19,7 @@ test:
 # quick pass each, with -benchmem so allocation regressions surface in
 # the gate.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'EngineScheduleStep|ReorderStage$$|FarmUnordered|ExecRunItems' -benchmem -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'EngineScheduleStep|PartitionWindow|ReorderStage$$|FarmUnordered|ExecRunItems' -benchmem -benchtime 100x .
 
 # The full benchmark suite: every experiment + every micro-benchmark.
 bench:
@@ -28,7 +28,7 @@ bench:
 # Regenerate the machine-readable perf snapshot (see DESIGN.md,
 # "Benchmark protocol"; bump the file number to your PR number).
 bench-json:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_5.json
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_6.json
 
 # Perf-regression gate: run a fresh snapshot and diff it against the
 # latest committed BENCH_<n>.json — fail on >MAXREGRESS ns/op
@@ -44,7 +44,7 @@ bench-diff:
 # Allocation-regression gate (the CI alloc-gate job): fail if any
 # hot-path micro-benchmark allocates per item.
 alloc-gate:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_5.json -maxallocs 0
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_6.json -maxallocs 0
 
 race:
 	$(GO) test -race ./...

@@ -80,6 +80,7 @@ func benchMicro(b *testing.B, name string) {
 func BenchmarkEngineScheduleStep(b *testing.B)   { benchMicro(b, "engine/schedule_step") }
 func BenchmarkEngineSeedCalendar(b *testing.B)   { benchMicro(b, "engine/seed_calendar") }
 func BenchmarkEngineScheduleCancel(b *testing.B) { benchMicro(b, "engine/schedule_cancel") }
+func BenchmarkPartitionWindow(b *testing.B)      { benchMicro(b, "engine/partition_window") }
 func BenchmarkReorderStage(b *testing.B)         { benchMicro(b, "pipeline/reorder_stage") }
 func BenchmarkSeedReorderStage(b *testing.B)     { benchMicro(b, "pipeline/seed_reorder_stage") }
 func BenchmarkFarmUnordered(b *testing.B)        { benchMicro(b, "farm/unordered") }

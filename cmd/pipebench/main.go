@@ -36,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +58,7 @@ func main() {
 		diffPath = flag.String("diff", "", "with -bench: compare against this BENCH_*.json snapshot and fail on regression")
 		maxRegr  = flag.Float64("maxregress", 0.20, "with -diff: maximum tolerated ns/op regression ratio")
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for -all (1 = sequential)")
+		parts    = flag.String("parts", "", "with -bench: partition count for the parallel scaling sweep (0 = auto from NumCPU; unset = full sweep)")
 	)
 	flag.Parse()
 
@@ -64,7 +66,16 @@ func main() {
 	case *list:
 		listExperiments(os.Stdout)
 	case *benchRun:
-		if err := runBench(*benchOut, *maxAlloc, *diffPath, *maxRegr); err != nil {
+		partsList, err := parseParts(*parts)
+		if err != nil {
+			// An invalid -parts is most often a typo: show the menu of
+			// valid counts rather than an opaque failure.
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			fmt.Fprintf(os.Stderr, "valid -parts values: %s (0 auto-picks from NumCPU, unset runs the full sweep)\n",
+				partsMenu())
+			os.Exit(1)
+		}
+		if err := runBench(*benchOut, *maxAlloc, *diffPath, *maxRegr, partsList); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -122,6 +133,10 @@ type benchReport struct {
 	GOARCH      string              `json:"goarch"`
 	CPUs        int                 `json:"cpus"`
 	Micro       []bench.MicroResult `json:"micro"`
+	// Parallel holds the partitioned-engine scaling sweep (events/s per
+	// partition/GOMAXPROCS point). Absent from snapshots predating the
+	// parallel core; bench-diff treats it as informational either way.
+	Parallel []bench.ParallelPoint `json:"parallel,omitempty"`
 	// SeedBaseline records the seed commit's (e363cbf) hot-path
 	// numbers, measured with the pre-rewrite benchmarks on the same
 	// class of machine, so every BENCH file carries the comparison
@@ -139,10 +154,52 @@ var seedBaseline = []bench.MicroResult{
 	{Name: "exec/run_items", Desc: "seed executor, per simulated item", NsPerOp: 2663, BytesPerOp: 1456, AllocsPerOp: 37},
 }
 
-// runBench executes the micro suite, writes the JSON report, and
-// applies the allocation gate (maxAlloc < 0 disables it) and the
-// snapshot-regression gate (diffPath empty disables it).
-func runBench(out string, maxAlloc int, diffPath string, maxRegress float64) error {
+// parseParts resolves the -parts flag into the scaling sweep's
+// partition list: unset runs the full default sweep, 0 auto-picks the
+// largest valid count the machine's CPUs can exercise (and prints the
+// choice), and an explicit count must be one of the valid values.
+func parseParts(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return bench.DefaultParallelParts(), nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return nil, fmt.Errorf("invalid -parts %q: not an integer", s)
+	}
+	valid := bench.DefaultParallelParts()
+	if n == 0 {
+		pick := 1
+		for _, v := range valid {
+			if v <= runtime.NumCPU() {
+				pick = v
+			}
+		}
+		fmt.Printf("-parts 0: auto-picked %d partitions (NumCPU=%d)\n", pick, runtime.NumCPU())
+		return []int{pick}, nil
+	}
+	for _, v := range valid {
+		if n == v {
+			return []int{n}, nil
+		}
+	}
+	return nil, fmt.Errorf("invalid -parts %d", n)
+}
+
+// partsMenu renders the valid -parts values for the error menu.
+func partsMenu() string {
+	var vals []string
+	for _, v := range bench.DefaultParallelParts() {
+		vals = append(vals, strconv.Itoa(v))
+	}
+	return strings.Join(vals, " ")
+}
+
+// runBench executes the micro suite and the parallel scaling sweep,
+// writes the JSON report, and applies the allocation gate (maxAlloc <
+// 0 disables it) and the snapshot-regression gate (diffPath empty
+// disables it).
+func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, partsList []int) error {
 	fmt.Printf("running %d hot-path micro-benchmarks...\n", len(bench.Micros()))
 	rep := benchReport{
 		Bench:        strings.TrimSuffix(filepath.Base(out), ".json"),
@@ -157,6 +214,16 @@ func runBench(out string, maxAlloc int, diffPath string, maxRegress float64) err
 	for _, m := range rep.Micro {
 		fmt.Printf("%-30s %12.1f ns/op %8d B/op %6d allocs/op %14.0f items/s\n",
 			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.ItemsPerSec)
+	}
+	fmt.Println("running the partitioned-engine scaling sweep (10k nodes, 16 tenants)...")
+	par, err := bench.ParallelScaling(42, partsList, nil)
+	if err != nil {
+		return err
+	}
+	rep.Parallel = par
+	for _, p := range par {
+		fmt.Printf("parallel parts=%-3d procs=%-3d %10d events %12.0f events/s %6.2fx vs 1\n",
+			p.Parts, p.Procs, p.Events, p.EventsPerSec, p.SpeedupVs1)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -212,6 +279,12 @@ func diffBench(fresh []bench.MicroResult, diffPath string, maxRegress float64) e
 	}
 	var regressions []string
 	fmt.Printf("diff against %s (bench %s, %s):\n", diffPath, base.Bench, base.GeneratedAt)
+	if len(base.Parallel) == 0 {
+		// Snapshots predating the parallel core have no sweep section;
+		// the sweep is informational either way (wall-clock scaling
+		// depends on the runner's core count, not on the code alone).
+		fmt.Println("  parallel sweep: no baseline section (older snapshot); informational only")
+	}
 	seen := map[string]bool{}
 	for _, m := range fresh {
 		if strings.Contains(m.Name, "seed") {

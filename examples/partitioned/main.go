@@ -1,0 +1,79 @@
+// Partitioned simulation example: four tenants pinned to four grid
+// sites run on the partitioned event engine (one calendar per site
+// group, advanced in parallel under conservative windows bounded by
+// the inter-site latency). The same workload runs twice — once on a
+// single calendar, once partitioned with parallel workers — and the
+// reports must match bit for bit: partitioning changes wall-clock
+// time, never results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+
+	"gridpipe/internal/cluster"
+	"gridpipe/internal/exec"
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+	"gridpipe/internal/workload"
+)
+
+func main() {
+	g, err := grid.MultiSite([]grid.Site{
+		{Name: "site-a", Nodes: 4, Speed: 1},
+		{Name: "site-b", Nodes: 4, Speed: 1.5},
+		{Name: "site-c", Nodes: 4, Speed: 2},
+		{Name: "site-d", Nodes: 4, Speed: 1},
+	}, grid.LANLink, grid.WANLink)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The partition seams an operator would inspect with gridsim -parts:
+	// contiguous blocks, lookahead = the minimum cross-block latency.
+	plan, err := exec.PlanPartitions(g, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.String())
+
+	// One tenant per site, each with its own app, arrival, and budget.
+	lease := func(site int) []grid.NodeID {
+		ns := make([]grid.NodeID, 4)
+		for i := range ns {
+			ns[i] = grid.NodeID(site*4 + i)
+		}
+		return ns
+	}
+	job := func(name string, app workload.App, arrival float64, items int) model.JobSpec {
+		return model.JobSpec{Name: name, Spec: app.Spec, Arrival: arrival, Items: items, CV: app.CV}
+	}
+	jobs := []cluster.PinnedJob{
+		{Spec: job("genome", workload.Genome(), 0, 400), Nodes: lease(0)},
+		{Spec: job("image", workload.Image(), 0.5, 300), Nodes: lease(1)},
+		{Spec: job("video", workload.Video(), 1.0, 300), Nodes: lease(2)},
+		{Spec: job("genome2", workload.Genome(), 0.2, 350), Nodes: lease(3)},
+	}
+
+	golden, err := cluster.RunPartitioned(g, jobs, cluster.PartitionedOptions{Parts: 1, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parallel, err := cluster.RunPartitioned(g, jobs, cluster.PartitionedOptions{Parts: 4, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-8s %8s %10s %12s %12s\n", "job", "done", "makespan", "throughput", "latency")
+	for _, jr := range parallel.Jobs {
+		fmt.Printf("%-8s %8d %9.1fs %10.1f/s %11.3fs\n",
+			jr.Name, jr.Done, jr.Makespan, jr.Throughput, jr.MeanLatency)
+	}
+	fmt.Printf("\ncluster makespan %.1fs, Jain fairness %.3f\n", parallel.Makespan, parallel.Jain)
+
+	if !reflect.DeepEqual(golden, parallel) {
+		log.Fatal("partitioned report diverged from the single-calendar run")
+	}
+	fmt.Println("single-calendar and 4-partition runs match bit for bit")
+}

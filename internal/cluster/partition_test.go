@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/workload"
+)
+
+func pinnedFour(g *grid.Grid) []PinnedJob {
+	// Four tenants on disjoint 3-node leases of a 12-node grid.
+	lease := func(base int) []grid.NodeID {
+		return []grid.NodeID{grid.NodeID(base), grid.NodeID(base + 1), grid.NodeID(base + 2)}
+	}
+	return []PinnedJob{
+		{Spec: jobOf("genome", workload.Genome(), 0, 120), Nodes: lease(0)},
+		{Spec: jobOf("image", workload.Image(), 0.5, 90), Nodes: lease(3)},
+		{Spec: jobOf("video", workload.Video(), 1.0, 80), Nodes: lease(6)},
+		{Spec: jobOf("genome2", workload.Genome(), 0.2, 100), Nodes: lease(9)},
+	}
+}
+
+// TestRunPartitionedDeterministic is the cluster-level arm of the
+// partitioned-vs-golden property: the Report must be byte-identical
+// for every partition and worker count, with Parts=1 serving as the
+// single-threaded reference.
+func TestRunPartitionedDeterministic(t *testing.T) {
+	g := homGrid(t, 12)
+	golden, err := RunPartitioned(g, pinnedFour(g), PartitionedOptions{Parts: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(golden.Jobs) != 4 {
+		t.Fatalf("got %d job reports, want 4", len(golden.Jobs))
+	}
+	for _, jr := range golden.Jobs {
+		if jr.State != JobDone || jr.Lost != 0 || jr.Done == 0 {
+			t.Fatalf("job %q: state=%v done=%d lost=%d", jr.Name, jr.State, jr.Done, jr.Lost)
+		}
+		if jr.Makespan <= 0 || jr.Throughput <= 0 || jr.MeanLatency <= 0 {
+			t.Fatalf("job %q: degenerate metrics %+v", jr.Name, jr)
+		}
+	}
+	if golden.Arbitrations != 4 {
+		t.Fatalf("coordinator saw %d finish beacons, want 4", golden.Arbitrations)
+	}
+
+	for _, parts := range []int{2, 3, 4} {
+		for _, workers := range []int{0, 1, 2} {
+			rep, err := RunPartitioned(g, pinnedFour(g), PartitionedOptions{
+				Parts: parts, Workers: workers, Seed: 42,
+			})
+			if err != nil {
+				t.Fatalf("parts=%d workers=%d: %v", parts, workers, err)
+			}
+			if !reflect.DeepEqual(rep, golden) {
+				t.Fatalf("parts=%d workers=%d: report diverges from single-threaded golden:\n got %+v\nwant %+v",
+					parts, workers, rep, golden)
+			}
+		}
+	}
+}
+
+// TestRunPartitionedAutoParts pins the Parts=0 default: capped at the
+// tenant count, still matching the golden.
+func TestRunPartitionedAutoParts(t *testing.T) {
+	g := homGrid(t, 12)
+	golden, err := RunPartitioned(g, pinnedFour(g), PartitionedOptions{Parts: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunPartitioned(g, pinnedFour(g), PartitionedOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, golden) {
+		t.Fatal("auto partition count diverges from golden")
+	}
+}
+
+func TestRunPartitionedValidation(t *testing.T) {
+	g := homGrid(t, 6)
+	job := func(name string, ns ...grid.NodeID) PinnedJob {
+		return PinnedJob{Spec: jobOf(name, workload.Genome(), 0, 10), Nodes: ns}
+	}
+	if _, err := RunPartitioned(g, nil, PartitionedOptions{}); err == nil {
+		t.Fatal("no jobs must error")
+	}
+	if _, err := RunPartitioned(g, []PinnedJob{job("a", 0, 1), job("b", 1, 2)}, PartitionedOptions{}); err == nil {
+		t.Fatal("overlapping leases must error")
+	}
+	if _, err := RunPartitioned(g, []PinnedJob{job("a", 0, 99)}, PartitionedOptions{}); err == nil {
+		t.Fatal("invalid node must error")
+	}
+	if _, err := RunPartitioned(g, []PinnedJob{job("a")}, PartitionedOptions{}); err == nil {
+		t.Fatal("empty lease must error")
+	}
+	if _, err := RunPartitioned(g, []PinnedJob{job("a", 0, 1)}, PartitionedOptions{Parts: -1}); err == nil {
+		t.Fatal("negative partition count must error")
+	}
+
+	churny := homGrid(t, 6)
+	churny.SetChurn(&grid.ChurnSchedule{})
+	if _, err := RunPartitioned(churny, []PinnedJob{job("a", 0, 1)}, PartitionedOptions{}); err == nil {
+		t.Fatal("churn must be rejected")
+	}
+}
