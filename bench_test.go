@@ -85,6 +85,8 @@ func BenchmarkReorderStage(b *testing.B)         { benchMicro(b, "pipeline/reord
 func BenchmarkSeedReorderStage(b *testing.B)     { benchMicro(b, "pipeline/seed_reorder_stage") }
 func BenchmarkFarmUnordered(b *testing.B)        { benchMicro(b, "farm/unordered") }
 func BenchmarkExecRunItems(b *testing.B)         { benchMicro(b, "exec/run_items") }
+func BenchmarkSchedSearch(b *testing.B)          { benchMicro(b, "sched/search") }
+func BenchmarkClusterArbitrate(b *testing.B)     { benchMicro(b, "cluster/arbitrate") }
 
 // --- micro-benchmarks ---------------------------------------------------
 

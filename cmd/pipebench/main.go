@@ -9,6 +9,7 @@
 //	pipebench -all [-seed 42] [-workers N] [-json]
 //	pipebench -bench [-benchout BENCH_1.json] [-maxallocs 0]
 //	pipebench -bench -diff BENCH_4.json [-maxregress 0.20]
+//	pipebench -bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -all fans the experiments across a bounded worker pool (default one
 // worker per CPU); every experiment seeds its own RNG streams, so the
@@ -26,6 +27,9 @@
 // reports more than N allocs/op (the in-tree seed-reference rows,
 // which reproduce the seed's allocating designs on purpose, are
 // exempt) — the CI allocation-regression job runs -maxallocs 0.
+// -cpuprofile/-memprofile write pprof profiles of whatever mode ran
+// (bench or experiments), the inputs of the benchmark protocol's
+// "profile before optimising" step (DESIGN.md).
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -59,8 +64,40 @@ func main() {
 		maxRegr  = flag.Float64("maxregress", 0.20, "with -diff: maximum tolerated ns/op regression ratio")
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker pool size for -all (1 = sequential)")
 		parts    = flag.String("parts", "", "with -bench: partition count for the parallel scaling sweep (0 = auto from NumCPU; unset = full sweep)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pipebench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pipebench: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	switch {
 	case *list:
@@ -133,6 +170,11 @@ type benchReport struct {
 	GOARCH      string              `json:"goarch"`
 	CPUs        int                 `json:"cpus"`
 	Micro       []bench.MicroResult `json:"micro"`
+	// Sched records the branch-and-bound pruning telemetry on the T4
+	// validation configuration: candidates an unpruned enumeration
+	// would rate vs candidates the model actually evaluated. Absent
+	// from snapshots predating the pruned search.
+	Sched *bench.SchedSearchStats `json:"sched,omitempty"`
 	// Parallel holds the partitioned-engine scaling sweep (events/s per
 	// partition/GOMAXPROCS point). Absent from snapshots predating the
 	// parallel core; bench-diff treats it as informational either way.
@@ -215,6 +257,13 @@ func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, par
 		fmt.Printf("%-30s %12.1f ns/op %8d B/op %6d allocs/op %14.0f items/s\n",
 			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.ItemsPerSec)
 	}
+	sched, err := bench.SchedSearchTelemetry()
+	if err != nil {
+		return err
+	}
+	rep.Sched = &sched
+	fmt.Printf("sched pruning (%s): %d candidates, %d evaluated, %.0fx\n",
+		sched.Config, sched.Candidates, sched.Evaluated, sched.PruneRatio)
 	fmt.Println("running the partitioned-engine scaling sweep (10k nodes, 16 tenants)...")
 	par, err := bench.ParallelScaling(42, partsList, nil)
 	if err != nil {

@@ -75,6 +75,16 @@ func Micros() []Micro {
 			Desc: "end-to-end simulated item through a 4-stage mapped pipeline (pooled items/tasks/transfers)",
 			Run:  benchExecRunItems,
 		},
+		{
+			Name: "sched/search",
+			Desc: "branch-and-bound exhaustive search, T4 8x4 config through a persistent scratch (items/s = candidates evaluated)",
+			Run:  benchSchedSearch,
+		},
+		{
+			Name: "cluster/arbitrate",
+			Desc: "steady-state incremental arbitration round, 3 tenants replayed from the divider memo (items/s = tenant placements)",
+			Run:  benchClusterArbitrate,
+		},
 	}
 }
 

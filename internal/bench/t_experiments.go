@@ -137,7 +137,10 @@ func runT2(seed uint64) (*Result, error) {
 		}
 		loads := s.loads[:]
 
-		cands := model.EnumerateAll(3, 3)
+		cands, err := model.EnumerateAll(3, 3)
+		if err != nil {
+			return nil, err
+		}
 		bestIdx, bestPred, err := model.Best(gl, spec, cands, loads)
 		if err != nil {
 			return nil, err

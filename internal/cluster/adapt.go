@@ -27,7 +27,6 @@ import (
 	"gridpipe/internal/adaptive"
 	"gridpipe/internal/model"
 	"gridpipe/internal/monitor"
-	"gridpipe/internal/sched"
 )
 
 // arbSub implements adaptive.Sensor and adaptive.Actuator over one
@@ -99,10 +98,14 @@ func (s *arbSub) Slowdowns() []float64 {
 
 // Expected rates the current leases under the load estimates: the
 // weighted max-min objective of every active job's current mapping.
+// Evaluations run through one pooled scratch — this fires every tick,
+// and only the throughput scalar is kept.
 func (s *arbSub) Expected(loads []float64) (reference, hysteresis float64) {
 	obj := math.NaN()
+	ps := model.AcquirePredictScratch()
+	defer model.ReleasePredictScratch(ps)
 	for _, j := range s.c.active() {
-		pred, err := model.Predict(s.c.g, j.spec.Spec, j.ex.Mapping(), loads)
+		pred, err := model.PredictInto(s.c.g, j.spec.Spec, j.ex.Mapping(), loads, ps)
 		if err != nil {
 			panic(fmt.Sprintf("cluster: predict job %q: %v", j.spec.Name, err))
 		}
@@ -140,45 +143,28 @@ func renderLeases(jobs []*Job, mappings []model.Mapping) leases {
 
 // Propose re-divides the grid under the load estimates: new leases
 // from the arbiter, new mappings searched inside them against the
-// other tenants' reservations, and the predicted post-arbitration
-// objective.
+// other tenants' reservations — via the incremental divider, so
+// tenants whose inputs are unchanged replay their memoized search —
+// and the predicted post-arbitration objective.
 func (s *arbSub) Propose(loads []float64) (*adaptive.Proposal, bool) {
-	actives := s.c.active()
+	c := s.c
+	actives := c.active()
 	if len(actives) == 0 {
 		return nil, false
 	}
-	tenants := make([]Tenant, len(actives))
-	for i, a := range actives {
-		tenants[i] = Tenant{Weight: a.spec.NormWeight(), Floor: a.spec.Floor(), Pin: a.pin}
-	}
-	masks, err := Arbitrate(s.c.g, nil, tenants)
-	if err != nil {
+	tenants, out := c.roundArgs(actives)
+	if err := c.div.Round(nil, tenants, loads, out); err != nil {
 		panic(fmt.Sprintf("cluster: arbitrate: %v", err))
 	}
-	plan := &arbPlan{jobs: actives, masks: masks}
-	resv := sched.NewReservations(s.c.g)
 	objective := math.NaN()
 	changed := false
 	cur := make([]model.Mapping, len(actives))
 	for i, a := range actives {
 		cur[i] = a.ex.Mapping()
-		m, pred, err := sched.SearchResidual(a.searcher, s.c.g, a.spec.Spec, loads, masks[i], resv)
-		if err != nil {
-			panic(fmt.Sprintf("cluster: job %q search: %v", a.spec.Name, err))
-		}
-		m, pred, err = sched.ImproveResidual(s.c.g, a.spec.Spec, m, loads, s.c.cfg.MaxReplicas, masks[i], resv)
-		if err != nil {
-			panic(fmt.Sprintf("cluster: job %q replicate: %v", a.spec.Name, err))
-		}
-		if err := resv.Add(a.spec.Spec, m, loads); err != nil {
-			panic(fmt.Sprintf("cluster: job %q reserve: %v", a.spec.Name, err))
-		}
-		plan.mappings = append(plan.mappings, m)
-		plan.preds = append(plan.preds, pred)
-		if !m.Equal(cur[i]) {
+		if !out[i].Mapping.Equal(cur[i]) {
 			changed = true
 		}
-		w := pred.Throughput / a.spec.NormWeight()
+		w := out[i].Pred.Throughput / a.spec.NormWeight()
 		if math.IsNaN(objective) || w < objective {
 			objective = w
 		}
@@ -186,9 +172,22 @@ func (s *arbSub) Propose(loads []float64) (*adaptive.Proposal, bool) {
 	if !changed {
 		return nil, true
 	}
+	// The plan owns everything it carries across the Propose→Apply gap:
+	// actives and the placement masks alias reused round buffers.
+	plan := &arbPlan{
+		jobs:     append([]*Job(nil), actives...),
+		masks:    make([]model.CapacityMask, len(actives)),
+		mappings: make([]model.Mapping, len(actives)),
+		preds:    make([]model.Prediction, len(actives)),
+	}
+	for i := range actives {
+		plan.masks[i] = append(model.CapacityMask(nil), out[i].Mask...)
+		plan.mappings[i] = out[i].Mapping
+		plan.preds[i] = out[i].Pred
+	}
 	return &adaptive.Proposal{
 		From:      renderLeases(actives, cur),
-		To:        renderLeases(actives, plan.mappings),
+		To:        renderLeases(plan.jobs, plan.mappings),
 		Predicted: objective,
 		Ref:       plan,
 	}, true
@@ -204,7 +203,7 @@ func (s *arbSub) Apply(p *adaptive.Proposal) adaptive.Actuation {
 		if j.state != JobRunning {
 			continue // finished between Propose and Apply (same tick: cannot happen, but stay safe)
 		}
-		j.mask = plan.masks[i]
+		j.setMask(plan.masks[i])
 		if !plan.mappings[i].Equal(j.ex.Mapping()) {
 			st, err := j.ex.Remap(plan.mappings[i], s.c.cfg.Protocol)
 			if err != nil {

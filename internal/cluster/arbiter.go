@@ -14,7 +14,6 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
 
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
@@ -46,25 +45,51 @@ func (t Tenant) floor() int {
 	return t.Floor
 }
 
-// Arbitrate assigns every available node to the active tenants under
-// weighted max-min fairness and returns one capacity mask per tenant
-// (in tenant order). avail[n] false excludes node n (churned out or
-// reserved); nil admits every node. It errors when any tenant's floor
-// exceeds the available node count — admission control is expected to
-// have held such a job back.
-func Arbitrate(g *grid.Grid, avail []bool, tenants []Tenant) ([]model.CapacityMask, error) {
+// Arbiter is the reusable arbitration context: it owns the pool,
+// subscription and assignment buffers one division round needs, so a
+// steady-state caller (the incremental Divider) re-divides the grid
+// without allocating. The zero value is ready. Not safe for concurrent
+// use.
+type Arbiter struct {
+	pinned   []bool
+	pool     []int
+	subs     []int
+	assigned []float64
+}
+
+// Divide assigns every available node to the tenants under weighted
+// max-min fairness, filling the caller-owned masks (one per tenant,
+// each covering the whole grid) in place. avail[n] false excludes node
+// n (churned out or reserved); nil admits every node. It errors when
+// any tenant's floor exceeds the available node count — admission
+// control is expected to have held such a job back. Divide is
+// Arbitrate over reused storage: same inputs, bit-identical masks.
+func (ab *Arbiter) Divide(g *grid.Grid, avail []bool, tenants []Tenant, masks []model.CapacityMask) error {
 	np := g.NumNodes()
-	masks := make([]model.CapacityMask, len(tenants))
-	for i := range masks {
-		masks[i] = make(model.CapacityMask, np)
+	if len(masks) != len(tenants) {
+		return fmt.Errorf("cluster: %d lease masks for %d tenants", len(masks), len(tenants))
+	}
+	for _, m := range masks {
+		if len(m) != np {
+			return fmt.Errorf("cluster: lease mask covers %d nodes, grid has %d", len(m), np)
+		}
+		for n := range m {
+			m[n] = false
+		}
 	}
 	if len(tenants) == 0 {
-		return masks, nil
+		return nil
 	}
 
 	// The shared pool: available nodes not pinned to anyone, in
 	// capacity-descending order (ties by ID, so the order is total).
-	pinned := make([]bool, np)
+	if cap(ab.pinned) < np {
+		ab.pinned = make([]bool, np)
+	}
+	pinned := ab.pinned[:np]
+	for n := range pinned {
+		pinned[n] = false
+	}
 	for ti, t := range tenants {
 		if t.Pin == nil {
 			continue
@@ -76,32 +101,53 @@ func Arbitrate(g *grid.Grid, avail []bool, tenants []Tenant) ([]model.CapacityMa
 			}
 		}
 	}
-	cap := func(n int) float64 {
+	capOf := func(n int) float64 {
 		node := g.Node(grid.NodeID(n))
 		return node.Speed * float64(node.Cores)
 	}
-	var pool []int
+	if cap(ab.pool) < np {
+		ab.pool = make([]int, 0, np)
+	}
+	pool := ab.pool[:0]
 	for n := 0; n < np; n++ {
 		if (avail == nil || avail[n]) && !pinned[n] {
 			pool = append(pool, n)
 		}
 	}
-	sort.SliceStable(pool, func(a, b int) bool {
-		ca, cb := cap(pool[a]), cap(pool[b])
-		if ca != cb {
-			return ca > cb
+	ab.pool = pool
+	// Insertion sort: the key (capacity desc, ID asc) is a strict total
+	// order over distinct node IDs, so the permutation matches the
+	// sort.SliceStable call this replaced exactly.
+	for i := 1; i < len(pool); i++ {
+		for j := i; j > 0; j-- {
+			ca, cb := capOf(pool[j]), capOf(pool[j-1])
+			if ca < cb || (ca == cb && pool[j] > pool[j-1]) {
+				break
+			}
+			pool[j], pool[j-1] = pool[j-1], pool[j]
 		}
-		return pool[a] < pool[b]
-	})
+	}
 
 	// Per-node tenant count (for oversubscribed floors) and per-tenant
 	// assigned capacity (the max-min objective).
-	subs := make([]int, np)
-	assigned := make([]float64, len(tenants))
+	if cap(ab.subs) < np {
+		ab.subs = make([]int, np)
+	}
+	subs := ab.subs[:np]
+	for n := range subs {
+		subs[n] = 0
+	}
+	if cap(ab.assigned) < len(tenants) {
+		ab.assigned = make([]float64, len(tenants))
+	}
+	assigned := ab.assigned[:len(tenants)]
+	for ti := range assigned {
+		assigned[ti] = 0
+	}
 	give := func(ti, n int) {
 		masks[ti][n] = true
 		subs[n]++
-		assigned[ti] += cap(n)
+		assigned[ti] += capOf(n)
 	}
 
 	// Floor pass, tenants in order: each takes its floor from the
@@ -113,7 +159,7 @@ func Arbitrate(g *grid.Grid, avail []bool, tenants []Tenant) ([]model.CapacityMa
 			continue
 		}
 		if t.floor() > len(pool) {
-			return nil, fmt.Errorf("cluster: tenant %d floor of %d nodes exceeds the %d available", ti, t.floor(), len(pool))
+			return fmt.Errorf("cluster: tenant %d floor of %d nodes exceeds the %d available", ti, t.floor(), len(pool))
 		}
 		for masks[ti].Count() < t.floor() {
 			best := -1
@@ -151,6 +197,22 @@ func Arbitrate(g *grid.Grid, avail []bool, tenants []Tenant) ([]model.CapacityMa
 			break // every tenant is pinned
 		}
 		give(best, n)
+	}
+	return nil
+}
+
+// Arbitrate assigns every available node to the active tenants and
+// returns one freshly allocated capacity mask per tenant (in tenant
+// order): Divide for callers outside a steady-state loop.
+func Arbitrate(g *grid.Grid, avail []bool, tenants []Tenant) ([]model.CapacityMask, error) {
+	np := g.NumNodes()
+	masks := make([]model.CapacityMask, len(tenants))
+	for i := range masks {
+		masks[i] = make(model.CapacityMask, np)
+	}
+	var ab Arbiter
+	if err := ab.Divide(g, avail, tenants, masks); err != nil {
+		return nil, err
 	}
 	return masks, nil
 }

@@ -171,6 +171,15 @@ type Cluster struct {
 	ctrl         *adaptive.Controller
 	arbitrations int
 	started      bool
+
+	// Incremental-arbitration machinery: the memoizing divider plus the
+	// reused round buffers (active set, tenant list, placements, fits'
+	// pinned scan) that keep steady-state rounds allocation-free.
+	div        *Divider
+	activeBuf  []*Job
+	tenantBuf  []DividerTenant
+	placeBuf   []Placement
+	fitsPinned []bool
 }
 
 // New builds a cluster over the grid. Submit jobs, then Run.
@@ -189,8 +198,14 @@ func New(g *grid.Grid, cfg Config) (*Cluster, error) {
 	for i := range c.sensors {
 		c.sensors[i] = monitor.NewNodeSensor(g.Node(grid.NodeID(i)), nil)
 	}
+	c.div = NewDivider(g, cfg.MaxReplicas)
 	return c, nil
 }
+
+// DividerStats reports the incremental arbiter's work counters: how
+// many division rounds ran and how many per-tenant searches were
+// replayed from the memo instead of re-executed.
+func (c *Cluster) DividerStats() DividerStats { return c.div.Stats() }
 
 // Submit registers a job; its arrival fires at spec.Arrival in virtual
 // time. Must be called before Run. A floor that exceeds the whole grid
@@ -294,13 +309,17 @@ func (c *Cluster) allSettled() bool {
 }
 
 // active returns the admitted, still-running jobs in admission order.
+// The returned slice is a reused buffer, valid until the next call;
+// callers that hold it across cluster re-entry (the adaptive plan)
+// must copy it.
 func (c *Cluster) active() []*Job {
-	var out []*Job
+	out := c.activeBuf[:0]
 	for _, j := range c.jobs {
 		if j.state == JobRunning {
 			out = append(out, j)
 		}
 	}
+	c.activeBuf = out
 	return out
 }
 
@@ -314,7 +333,13 @@ func (c *Cluster) active() []*Job {
 // any mode.
 func (c *Cluster) fits(j *Job) bool {
 	np := c.g.NumNodes()
-	pinned := make([]bool, np)
+	if cap(c.fitsPinned) < np {
+		c.fitsPinned = make([]bool, np)
+	}
+	pinned := c.fitsPinned[:np]
+	for n := range pinned {
+		pinned[n] = false
+	}
 	floorSum, floorMax := 0, 0
 	count := func(x *Job) {
 		if x.pin != nil {
@@ -441,35 +466,22 @@ func (c *Cluster) finalize(j *Job) {
 
 // rearbitrate re-divides the grid over the active jobs and remaps any
 // job whose searched mapping moved. Mappings are searched in admission
-// order, each against the residual capacity of those already placed.
+// order, each against the residual capacity of those already placed —
+// through the incremental divider, so jobs whose lease and upstream
+// reservations are unchanged replay their memoized search.
 func (c *Cluster) rearbitrate(now float64) {
 	actives := c.active()
 	if len(actives) == 0 {
 		return
 	}
 	c.arbitrations++
-	tenants := make([]Tenant, len(actives))
-	for i, a := range actives {
-		tenants[i] = Tenant{Weight: a.spec.NormWeight(), Floor: a.spec.Floor(), Pin: a.pin}
-	}
-	masks, err := Arbitrate(c.g, nil, tenants)
-	if err != nil {
+	tenants, out := c.roundArgs(actives)
+	if err := c.div.Round(nil, tenants, nil, out); err != nil {
 		panic(fmt.Sprintf("cluster: arbitrate: %v", err))
 	}
-	resv := sched.NewReservations(c.g)
 	for i, a := range actives {
-		a.mask = masks[i]
-		m, pred, err := sched.SearchResidual(a.searcher, c.g, a.spec.Spec, nil, a.mask, resv)
-		if err != nil {
-			panic(fmt.Sprintf("cluster: job %q search: %v", a.spec.Name, err))
-		}
-		m, pred, err = sched.ImproveResidual(c.g, a.spec.Spec, m, nil, c.cfg.MaxReplicas, a.mask, resv)
-		if err != nil {
-			panic(fmt.Sprintf("cluster: job %q replicate: %v", a.spec.Name, err))
-		}
-		if err := resv.Add(a.spec.Spec, m, nil); err != nil {
-			panic(fmt.Sprintf("cluster: job %q reserve: %v", a.spec.Name, err))
-		}
+		a.setMask(out[i].Mask)
+		m := out[i].Mapping
 		if a.ex != nil && !m.Equal(a.mapping) {
 			if _, err := a.ex.Remap(m, c.cfg.Protocol); err != nil {
 				panic(fmt.Sprintf("cluster: job %q remap: %v", a.spec.Name, err))
@@ -477,8 +489,39 @@ func (c *Cluster) rearbitrate(now float64) {
 			a.remaps++
 		}
 		a.mapping = m
-		a.pred = pred
+		a.pred = out[i].Pred
 	}
+}
+
+// roundArgs builds the divider's tenant list and placement buffer for
+// the active jobs over reused storage.
+func (c *Cluster) roundArgs(actives []*Job) ([]DividerTenant, []Placement) {
+	tenants := c.tenantBuf[:0]
+	for _, a := range actives {
+		tenants = append(tenants, DividerTenant{
+			ID:       a.id,
+			Name:     a.spec.Name,
+			Tenant:   Tenant{Weight: a.spec.NormWeight(), Floor: a.spec.Floor(), Pin: a.pin},
+			Spec:     a.spec.Spec,
+			Searcher: a.searcher,
+		})
+	}
+	c.tenantBuf = tenants
+	if cap(c.placeBuf) < len(actives) {
+		c.placeBuf = make([]Placement, len(actives))
+	}
+	c.placeBuf = c.placeBuf[:len(actives)]
+	return tenants, c.placeBuf
+}
+
+// setMask copies a lease into the job's owned mask buffer: the
+// divider's mask storage is rewritten every round.
+func (j *Job) setMask(m model.CapacityMask) {
+	if cap(j.mask) < len(m) {
+		j.mask = make(model.CapacityMask, len(m))
+	}
+	j.mask = j.mask[:len(m)]
+	copy(j.mask, m)
 }
 
 // simClock schedules controller ticks in the cluster's virtual time.

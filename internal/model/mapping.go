@@ -104,15 +104,18 @@ func (m Mapping) Validate(ns, np int) error {
 		if len(nodes) == 0 {
 			return fmt.Errorf("model: stage %d has no nodes", i)
 		}
-		seen := map[grid.NodeID]bool{}
-		for _, n := range nodes {
+		// Duplicate detection by pairwise scan: replica lists are a
+		// handful of nodes, and the quadratic check keeps Validate — on
+		// the search hot path via PredictInto — free of allocations.
+		for k, n := range nodes {
 			if int(n) < 0 || int(n) >= np {
 				return fmt.Errorf("model: stage %d mapped to invalid node %d", i, n)
 			}
-			if seen[n] {
-				return fmt.Errorf("model: stage %d lists node %d twice", i, n)
+			for _, prev := range nodes[:k] {
+				if prev == n {
+					return fmt.Errorf("model: stage %d lists node %d twice", i, n)
+				}
 			}
-			seen[n] = true
 		}
 	}
 	return nil
@@ -189,18 +192,74 @@ func (m Mapping) String() string {
 	return b.String()
 }
 
-// EnumerationLimit caps EnumerateAll's output; np^ns grows fast and the
-// exhaustive search is only meant for the small configurations of the
-// validation tables.
+// EnumerationLimit caps the *materialized* enumerations
+// (EnumerateAll/EnumerateOver); np^ns grows fast and a slice of every
+// mapping is only meant for the small configurations of the validation
+// tables. The streaming VisitMappings has no such cliff: it holds one
+// mapping at a time.
 const EnumerationLimit = 1 << 20
 
+// VisitMappings streams every unreplicated mapping of ns stages onto
+// the given candidate nodes (len(nodes)^ns mappings) to the visitor,
+// in the same lexicographic order EnumerateOver materializes them
+// (stage 0 varies slowest). The visitor returns false to stop early.
+//
+// The Mapping passed to the visitor is REUSED between calls: its
+// Assign rows alias one backing array that the enumerator rewrites in
+// place. A visitor that needs to retain a candidate must Clone it.
+// Because nothing is materialized there is no enumeration limit — the
+// memory cost is O(ns) regardless of the space's size.
+func VisitMappings(ns int, nodes []grid.NodeID, visit func(Mapping) bool) error {
+	if ns <= 0 {
+		return fmt.Errorf("model: VisitMappings with %d stages", ns)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("model: VisitMappings with no candidate nodes")
+	}
+	// One reusable mapping: rows[i] is a one-element window over
+	// backing, so rewriting backing rewrites the candidate in place.
+	backing := make([]grid.NodeID, ns)
+	rows := make([][]grid.NodeID, ns)
+	for i := range rows {
+		backing[i] = nodes[0]
+		rows[i] = backing[i : i+1]
+	}
+	m := Mapping{Assign: rows}
+	// idx[i] is the odometer position of stage i in nodes.
+	idx := make([]int, ns)
+	for {
+		if !visit(m) {
+			return nil
+		}
+		// Advance the odometer (last stage varies fastest, matching the
+		// recursive EnumerateOver order).
+		i := ns - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(nodes) {
+				backing[i] = nodes[idx[i]]
+				break
+			}
+			idx[i] = 0
+			backing[i] = nodes[0]
+		}
+		if i < 0 {
+			return nil
+		}
+	}
+}
+
 // EnumerateAll returns every unreplicated mapping of ns stages onto np
-// nodes (np^ns mappings). It panics if the count would exceed
-// EnumerationLimit; larger spaces must use the heuristic searches in
-// internal/sched.
-func EnumerateAll(ns, np int) []Mapping {
+// nodes (np^ns mappings). It errors if the count would exceed
+// EnumerationLimit; larger spaces must stream through VisitMappings or
+// use the heuristic searches in internal/sched.
+//
+// Deprecated: materializing the space costs O(np^ns) memory. New call
+// sites should use VisitMappings, which streams candidates and has no
+// size cliff.
+func EnumerateAll(ns, np int) ([]Mapping, error) {
 	if np <= 0 {
-		panic("model: EnumerateAll with non-positive dimensions")
+		return nil, fmt.Errorf("model: EnumerateAll with %d nodes", np)
 	}
 	nodes := make([]grid.NodeID, np)
 	for i := range nodes {
@@ -212,32 +271,30 @@ func EnumerateAll(ns, np int) []Mapping {
 // EnumerateOver returns every unreplicated mapping of ns stages onto
 // the given candidate nodes (len(nodes)^ns mappings) — the restricted
 // enumeration the fault-aware search uses to exclude Down nodes. It
-// panics if the count would exceed EnumerationLimit.
-func EnumerateOver(ns int, nodes []grid.NodeID) []Mapping {
+// errors if the count would exceed EnumerationLimit.
+//
+// Deprecated: materializing the space costs O(np^ns) memory. New call
+// sites should use VisitMappings, which streams candidates and has no
+// size cliff.
+func EnumerateOver(ns int, nodes []grid.NodeID) ([]Mapping, error) {
 	if ns <= 0 || len(nodes) == 0 {
-		panic("model: EnumerateOver with non-positive dimensions")
+		return nil, fmt.Errorf("model: EnumerateOver with non-positive dimensions")
 	}
 	np := len(nodes)
 	count := 1
 	for i := 0; i < ns; i++ {
 		count *= np
 		if count > EnumerationLimit {
-			panic(fmt.Sprintf("model: enumeration of %d^%d mappings exceeds limit", np, ns))
+			return nil, fmt.Errorf("model: enumeration of %d^%d mappings exceeds the %d limit (stream with VisitMappings instead)", np, ns, EnumerationLimit)
 		}
 	}
 	out := make([]Mapping, 0, count)
-	assign := make([]grid.NodeID, ns)
-	var rec func(i int)
-	rec = func(i int) {
-		if i == ns {
-			out = append(out, FromNodes(assign...))
-			return
-		}
-		for _, n := range nodes {
-			assign[i] = n
-			rec(i + 1)
-		}
+	err := VisitMappings(ns, nodes, func(m Mapping) bool {
+		out = append(out, m.Clone())
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
-	rec(0)
-	return out
+	return out, nil
 }

@@ -124,7 +124,10 @@ func TestNodesUsed(t *testing.T) {
 }
 
 func TestEnumerateAll(t *testing.T) {
-	ms := EnumerateAll(3, 2)
+	ms, err := EnumerateAll(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ms) != 8 {
 		t.Fatalf("count = %d, want 8", len(ms))
 	}
@@ -144,11 +147,74 @@ func TestEnumerateAll(t *testing.T) {
 	}
 }
 
-func TestEnumerateAllPanicsOnExplosion(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+// The over-limit regression: a space past EnumerationLimit must come
+// back as a clean error, not a panic (the seed behavior) — callers on
+// the adaptation hot path handle it, they cannot recover a panic.
+func TestEnumerateAllErrorsOnExplosion(t *testing.T) {
+	if _, err := EnumerateAll(30, 10); err == nil {
+		t.Fatal("expected an enumeration-limit error, got nil")
+	}
+	nodes := []grid.NodeID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if _, err := EnumerateOver(30, nodes); err == nil {
+		t.Fatal("expected an enumeration-limit error, got nil")
+	}
+	// Degenerate dimensions error too (the seed panicked on these).
+	if _, err := EnumerateAll(3, 0); err == nil {
+		t.Fatal("expected an error for zero nodes")
+	}
+	if _, err := EnumerateOver(0, nodes); err == nil {
+		t.Fatal("expected an error for zero stages")
+	}
+}
+
+// VisitMappings must stream the exact sequence EnumerateOver
+// materializes, reusing one Mapping, and honour an early stop.
+func TestVisitMappingsMatchesEnumerateOver(t *testing.T) {
+	nodes := []grid.NodeID{0, 2, 3}
+	want, err := EnumerateOver(3, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	var prev Mapping
+	err = VisitMappings(3, nodes, func(m Mapping) bool {
+		if i >= len(want) {
+			t.Fatalf("visitor saw more than %d mappings", len(want))
 		}
-	}()
-	EnumerateAll(30, 10)
+		if !m.Equal(want[i]) {
+			t.Fatalf("candidate %d = %s, want %s", i, m, want[i])
+		}
+		if i > 0 && &m.Assign[0][0] != &prev.Assign[0][0] {
+			t.Fatal("visitor candidate is not reusing its backing storage")
+		}
+		prev = m
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("visited %d of %d mappings", i, len(want))
+	}
+
+	// Early stop.
+	count := 0
+	if err := VisitMappings(3, nodes, func(Mapping) bool {
+		count++
+		return count < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+
+	// Errors on degenerate dimensions instead of panicking.
+	if err := VisitMappings(0, nodes, func(Mapping) bool { return true }); err == nil {
+		t.Fatal("expected an error for zero stages")
+	}
+	if err := VisitMappings(2, nil, func(Mapping) bool { return true }); err == nil {
+		t.Fatal("expected an error for no nodes")
+	}
 }

@@ -48,6 +48,21 @@ type Prediction struct {
 // receives 1/k of the per-item work and each replica pair link 1/(k·k')
 // of the traffic.
 func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Prediction, error) {
+	return PredictInto(g, spec, m, loads, nil)
+}
+
+// PredictInto is Predict evaluated over a reusable scratch: all
+// intermediate buffers (per-node busy times, link-flow accumulators,
+// the critical-path table) come from s, so a steady-state caller —
+// a search strategy rating thousands of candidates — performs zero
+// allocations per evaluation. A nil scratch allocates fresh buffers,
+// which is exactly Predict.
+//
+// The returned Prediction's NodeBusy slice ALIASES the scratch and is
+// only valid until the next PredictInto on the same scratch; callers
+// that retain predictions across evaluations must copy it (see
+// Prediction.CloneBusyInto).
+func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s *PredictScratch) (Prediction, error) {
 	if err := spec.Validate(); err != nil {
 		return Prediction{}, err
 	}
@@ -70,9 +85,12 @@ func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Predi
 		}
 		return l
 	}
+	if s == nil {
+		s = NewPredictScratch()
+	}
 
 	// Per-node busy seconds per item.
-	busy := make([]float64, g.NumNodes())
+	busy := s.busyFor(g.NumNodes())
 	for i, st := range spec.Stages {
 		replicas := m.Assign[i]
 		share := 1 / float64(len(replicas))
@@ -83,9 +101,12 @@ func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Predi
 		}
 	}
 
-	// Per-directed-link bytes per item.
-	type pair struct{ a, b grid.NodeID }
-	linkBytes := map[pair]float64{}
+	// Per-directed-link bytes per item. The accumulator is a small
+	// linear-probed slice rather than a map: the number of distinct
+	// node pairs is bounded by the stage graph's edges times replica
+	// fan, and per-pair additions happen in the same program order as
+	// the old map accumulation, so the sums are bit-identical.
+	s.flows = s.flows[:0]
 	addFlow := func(from, to []grid.NodeID, bytes float64) {
 		if bytes == 0 {
 			return
@@ -94,7 +115,7 @@ func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Predi
 		for _, a := range from {
 			for _, b := range to {
 				if a != b {
-					linkBytes[pair{a, b}] += share
+					s.addFlow(a, b, share)
 				}
 			}
 		}
@@ -135,9 +156,9 @@ func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Predi
 		}
 	}
 	linkBound := math.Inf(1)
-	for p, bytes := range linkBytes {
-		bw := g.Link(p.a, p.b).Bandwidth
-		if bound := bw / bytes; bound < linkBound {
+	for _, f := range s.flows {
+		bw := g.Link(f.a, f.b).Bandwidth
+		if bound := bw / f.bytes; bound < linkBound {
 			linkBound = bound
 		}
 	}
@@ -172,7 +193,7 @@ func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Predi
 		}
 	} else {
 		graph := spec.Topo
-		ready := make([]float64, len(spec.Stages)) // output-ready time per stage
+		ready := s.readyFor(len(spec.Stages)) // output-ready time per stage
 		for i, st := range spec.Stages {
 			n := m.Assign[i][0]
 			t := 0.0
@@ -213,20 +234,28 @@ func Predict(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64) (Predi
 
 // Best evaluates every candidate and returns the index and prediction
 // of the highest-throughput mapping. Ties break towards the earlier
-// candidate, which makes the choice deterministic.
+// candidate, which makes the choice deterministic. Evaluations run
+// through one pooled scratch, so the cost is one retained-busy copy
+// per improvement rather than a fresh allocation per candidate.
 func Best(g *grid.Grid, spec PipelineSpec, candidates []Mapping, loads []float64) (int, Prediction, error) {
 	if len(candidates) == 0 {
 		return -1, Prediction{}, fmt.Errorf("model: no candidate mappings")
 	}
+	s := AcquirePredictScratch()
+	defer ReleasePredictScratch(s)
 	bestIdx := -1
 	var bestPred Prediction
+	var bestBusy []float64
 	for i, m := range candidates {
-		p, err := Predict(g, spec, m, loads)
+		p, err := PredictInto(g, spec, m, loads, s)
 		if err != nil {
 			return -1, Prediction{}, fmt.Errorf("candidate %d (%s): %w", i, m, err)
 		}
 		if bestIdx < 0 || p.Throughput > bestPred.Throughput {
-			bestIdx, bestPred = i, p
+			bestIdx = i
+			bestBusy = append(bestBusy[:0], p.NodeBusy...)
+			bestPred = p
+			bestPred.NodeBusy = bestBusy
 		}
 	}
 	return bestIdx, bestPred, nil

@@ -39,7 +39,9 @@ func (r *Reservations) Reset() {
 // node is charged its busy-time per item times the predicted rate —
 // the utilisation a saturated run imposes.
 func (r *Reservations) Add(spec model.PipelineSpec, m model.Mapping, loads []float64) error {
-	pred, err := model.Predict(r.g, spec, m, loads)
+	s := model.AcquirePredictScratch()
+	defer model.ReleasePredictScratch(s)
+	pred, err := model.PredictInto(r.g, spec, m, loads, s)
 	if err != nil {
 		return fmt.Errorf("sched: reserve: %w", err)
 	}
@@ -49,15 +51,81 @@ func (r *Reservations) Add(spec model.PipelineSpec, m model.Mapping, loads []flo
 	return nil
 }
 
+// UseOf computes the per-node utilisation vector Add would charge for
+// the mapping — busy per item × predicted rate — into dst (grown as
+// needed) without touching the ledger. Callers that cache placements
+// (the incremental arbiter) store this vector once and replay it with
+// AddUse on later rounds, skipping the model evaluation entirely; the
+// replayed charges are the very floats Add would have produced, so the
+// ledger stays bit-identical.
+func (r *Reservations) UseOf(dst []float64, spec model.PipelineSpec, m model.Mapping, loads []float64) ([]float64, error) {
+	s := model.AcquirePredictScratch()
+	defer model.ReleasePredictScratch(s)
+	pred, err := model.PredictInto(r.g, spec, m, loads, s)
+	if err != nil {
+		return dst, fmt.Errorf("sched: reserve: %w", err)
+	}
+	dst = dst[:0]
+	for _, busy := range pred.NodeBusy {
+		dst = append(dst, busy*pred.Throughput)
+	}
+	return dst, nil
+}
+
+// AddUse charges a utilisation vector previously computed by UseOf.
+func (r *Reservations) AddUse(use []float64) {
+	for n, u := range use {
+		r.used[n] += u
+	}
+}
+
 // Used returns the reserved utilisation of node n in [0, 1+].
 func (r *Reservations) Used(n grid.NodeID) float64 { return r.used[n] }
+
+// SnapshotInto copies the ledger's per-node used vector into dst
+// (grown as needed) and returns it: the upstream-ledger key the
+// incremental arbiter caches each tenant's search under.
+func (r *Reservations) SnapshotInto(dst []float64) []float64 {
+	if cap(dst) < len(r.used) {
+		dst = make([]float64, len(r.used))
+	}
+	dst = dst[:len(r.used)]
+	copy(dst, r.used)
+	return dst
+}
+
+// UsedEquals reports whether the ledger's used vector is bitwise equal
+// to v — the cheap revalidation behind cached placements. A NaN entry
+// compares unequal to itself, which safely degrades a would-be cache
+// hit into a recomputation.
+func (r *Reservations) UsedEquals(v []float64) bool {
+	if len(v) != len(r.used) {
+		return false
+	}
+	for i, u := range r.used {
+		if u != v[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // Residual folds the ledger into a background-load vector: the
 // returned loads[n] is the base estimate plus the reserved fraction,
 // clamped to the model's 0.99 saturation cap. base may be nil (idle).
 func (r *Reservations) Residual(base []float64) []float64 {
-	out := make([]float64, len(r.used))
-	for n := range out {
+	return r.ResidualInto(nil, base)
+}
+
+// ResidualInto is Residual over caller-owned storage: dst is grown as
+// needed and returned, so steady-state arbitration loops fold the
+// ledger without allocating.
+func (r *Reservations) ResidualInto(dst, base []float64) []float64 {
+	if cap(dst) < len(r.used) {
+		dst = make([]float64, len(r.used))
+	}
+	dst = dst[:len(r.used)]
+	for n := range dst {
 		l := r.used[n]
 		if base != nil && n < len(base) && base[n] > 0 {
 			l += base[n]
@@ -65,9 +133,9 @@ func (r *Reservations) Residual(base []float64) []float64 {
 		if l > 0.99 {
 			l = 0.99
 		}
-		out[n] = l
+		dst[n] = l
 	}
-	return out
+	return dst
 }
 
 // SearchResidual runs a fault- and reservation-aware search: the

@@ -105,10 +105,20 @@ func usable(avail []bool, n int) bool {
 	return avail == nil || avail[n]
 }
 
-// Exhaustive enumerates all np^ns unreplicated mappings. Only feasible
-// for small pipelines; it is the ground truth the other strategies are
-// judged against.
-type Exhaustive struct{}
+// Exhaustive walks all np^ns unreplicated mappings with a
+// branch-and-bound cut (bb.go): partial assignments carry the
+// bottleneck-stage lower bound down the tree and subtrees that cannot
+// strictly beat the incumbent are skipped without evaluation. The
+// result — mapping and prediction — is bit-identical to rating every
+// candidate; only the work changes. It remains the ground truth the
+// other strategies are judged against, and exponential in the worst
+// case.
+type Exhaustive struct {
+	// Counters, when non-nil, accumulates candidate/evaluation totals
+	// across searches — the pruning-ratio telemetry the benchmarks
+	// report. Nil skips the accounting.
+	Counters *SearchCounters
+}
 
 // Name implements Searcher.
 func (Exhaustive) Name() string { return "exhaustive" }
@@ -120,26 +130,8 @@ func (s Exhaustive) Search(g *grid.Grid, spec model.PipelineSpec, loads []float6
 
 // SearchAvail implements AvailSearcher: enumeration runs over the
 // available nodes only.
-func (Exhaustive) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
-	ns := spec.NumStages()
-	if ns <= 0 {
-		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
-	}
-	ids, err := checkAvail(g, avail)
-	if err != nil {
-		return model.Mapping{}, model.Prediction{}, err
-	}
-	// Refuse obviously explosive spaces before enumerating.
-	if float64(ns)*math.Log(float64(len(ids))) > math.Log(model.EnumerationLimit) {
-		return model.Mapping{}, model.Prediction{}, fmt.Errorf(
-			"sched: exhaustive search over %d^%d mappings is infeasible", len(ids), ns)
-	}
-	cands := model.EnumerateOver(ns, ids)
-	idx, pred, err := model.Best(g, spec, cands, loads)
-	if err != nil {
-		return model.Mapping{}, model.Prediction{}, err
-	}
-	return cands[idx], pred, nil
+func (s Exhaustive) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
+	return searchPooled(s, g, spec, loads, avail)
 }
 
 // ContiguousDP solves the chains-on-chains partitioning problem: split
@@ -166,18 +158,43 @@ func (s ContiguousDP) Search(g *grid.Grid, spec model.PipelineSpec, loads []floa
 
 // SearchAvail implements AvailSearcher: unavailable nodes never host a
 // group (they are "skipped over" in the node sequence).
-func (ContiguousDP) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
+func (s ContiguousDP) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
+	return searchPooled(s, g, spec, loads, avail)
+}
+
+// searchScratch implements scratchSearcher. The DP runs over flattened
+// scratch tables with two exact incumbent cuts in the inner loop:
+//
+//   - the last group's cost (prefix[i]-prefix[k])/eff is nonincreasing
+//     in its start k (prefix sums of nonnegative work are monotone
+//     under IEEE rounding), so a binary search finds the first k whose
+//     group could beat the incumbent and everything before it is
+//     skipped;
+//   - dp[k][j-1] is nondecreasing in k (a longer stage prefix over the
+//     same nodes can only cost more), so once it reaches the incumbent
+//     the remaining starts cannot win and the loop breaks.
+//
+// Both cuts only skip starts whose candidate cost is provably ≥ the
+// incumbent under the same FP comparisons the plain loop performs, and
+// the surviving iteration order is unchanged (ascending k, strict <),
+// so dp values, cut choices and the reconstructed mapping are
+// bit-identical to the unpruned DP.
+func (ContiguousDP) searchScratch(sc *Scratch, g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
 	ns, np := spec.NumStages(), g.NumNodes()
 	if ns == 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
 	}
-	if _, err := checkAvail(g, avail); err != nil {
+	if _, err := sc.idsFor(g, avail); err != nil {
 		return model.Mapping{}, model.Prediction{}, err
 	}
-	eff := effectiveSpeeds(g, loads)
+	eff := sc.effFor(g, loads)
 
 	// prefix[i] = total work of stages [0, i).
-	prefix := make([]float64, ns+1)
+	if cap(sc.prefix) < ns+1 {
+		sc.prefix = make([]float64, ns+1)
+	}
+	prefix := sc.prefix[:ns+1]
+	prefix[0] = 0
 	for i, st := range spec.Stages {
 		prefix[i+1] = prefix[i] + st.Work
 	}
@@ -186,64 +203,81 @@ func (ContiguousDP) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []f
 	}
 
 	const inf = math.MaxFloat64
-	// dp[i][j]: minimal bottleneck for stages [0, i) using nodes [0, j).
-	dp := make([][]float64, ns+1)
-	cut := make([][]int, ns+1) // cut[i][j]: start of the last group
+	// dp[i*(np+1)+j]: minimal bottleneck for stages [0, i) using nodes
+	// [0, j); cut holds the start of the last group (-1: node unused).
+	cells := (ns + 1) * (np + 1)
+	if cap(sc.dp) < cells {
+		sc.dp = make([]float64, cells)
+		sc.cut = make([]int32, cells)
+	}
+	dp, cut := sc.dp[:cells], sc.cut[:cells]
 	for i := range dp {
-		dp[i] = make([]float64, np+1)
-		cut[i] = make([]int, np+1)
-		for j := range dp[i] {
-			dp[i][j] = inf
-			cut[i][j] = -1
-		}
+		dp[i] = inf
+		cut[i] = -1
 	}
-	dp[0][0] = 0
+	stride := np + 1
+	dp[0] = 0 // dp[0][0]
 	for j := 1; j <= np; j++ {
-		dp[0][j] = 0 // zero stages need zero groups; extra nodes stay idle
+		dp[j] = 0 // zero stages need zero groups; extra nodes stay idle
 		for i := 1; i <= ns; i++ {
+			cur, curCut := dp[i*stride+j], cut[i*stride+j]
 			// Node j-1 either hosts the last group [k, i) or is unused.
-			if dp[i][j-1] < dp[i][j] {
-				dp[i][j] = dp[i][j-1]
-				cut[i][j] = -1 // marker: node j-1 unused
+			if prev := dp[i*stride+j-1]; prev < cur {
+				cur, curCut = prev, -1 // marker: node j-1 unused
 			}
-			if !usable(avail, j-1) {
-				continue // a down node can only be skipped over
-			}
-			for k := 0; k < i; k++ {
-				if dp[k][j-1] == inf {
-					continue
+			if usable(avail, j-1) {
+				// Binary search the first start whose last-group cost
+				// beats the incumbent; earlier starts cannot win.
+				lo, hi := 0, i
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if groupCost(mid, i, j-1) < cur {
+						hi = mid
+					} else {
+						lo = mid + 1
+					}
 				}
-				c := math.Max(dp[k][j-1], groupCost(k, i, j-1))
-				if c < dp[i][j] {
-					dp[i][j] = c
-					cut[i][j] = k
+				for k := lo; k < i; k++ {
+					dkj := dp[k*stride+j-1]
+					if dkj >= cur {
+						break // nondecreasing in k: no later start can win
+					}
+					c := dkj
+					if gc := groupCost(k, i, j-1); gc > c {
+						c = gc
+					}
+					if c < cur {
+						cur, curCut = c, int32(k)
+					}
 				}
 			}
+			dp[i*stride+j], cut[i*stride+j] = cur, curCut
 		}
 	}
-	if dp[ns][np] == inf {
+	if dp[ns*stride+np] == inf {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: DP found no feasible partition")
 	}
 
-	// Reconstruct stage→node assignment.
-	assign := make([]grid.NodeID, ns)
+	// Reconstruct stage→node assignment into the result storage.
+	assign := sc.resultRows(ns)
 	i, j := ns, np
 	for i > 0 {
-		k := cut[i][j]
+		k := cut[i*stride+j]
 		if k < 0 { // node j-1 unused
 			j--
 			continue
 		}
-		for s := k; s < i; s++ {
+		for s := int(k); s < i; s++ {
 			assign[s] = grid.NodeID(j - 1)
 		}
-		i, j = k, j-1
+		i, j = int(k), j-1
 	}
-	m := model.FromNodes(assign...)
-	pred, err := model.Predict(g, spec, m, loads)
+	m := model.Mapping{Assign: sc.resRows}
+	pred, err := model.PredictInto(g, spec, m, loads, sc.ps)
 	if err != nil {
 		return model.Mapping{}, model.Prediction{}, err
 	}
+	sc.busyKeep = pred.CloneBusyInto(sc.busyKeep)
 	return m, pred, nil
 }
 
@@ -263,17 +297,26 @@ func (s Greedy) Search(g *grid.Grid, spec model.PipelineSpec, loads []float64) (
 
 // SearchAvail implements AvailSearcher: unavailable nodes are never
 // placement candidates.
-func (Greedy) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
+func (s Greedy) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
+	return searchPooled(s, g, spec, loads, avail)
+}
+
+// searchScratch implements scratchSearcher: the list scheduling runs
+// over scratch buffers, the same placement math as always.
+func (Greedy) searchScratch(sc *Scratch, g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
 	ns, np := spec.NumStages(), g.NumNodes()
 	if ns == 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
 	}
-	if _, err := checkAvail(g, avail); err != nil {
+	if _, err := sc.idsFor(g, avail); err != nil {
 		return model.Mapping{}, model.Prediction{}, err
 	}
-	eff := effectiveSpeeds(g, loads)
+	eff := sc.effFor(g, loads)
 
-	order := make([]int, ns)
+	if cap(sc.order) < ns {
+		sc.order = make([]int, ns)
+	}
+	order := sc.order[:ns]
 	for i := range order {
 		order[i] = i
 	}
@@ -285,8 +328,14 @@ func (Greedy) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64
 		}
 	}
 
-	busy := make([]float64, np)
-	assign := make([]grid.NodeID, ns)
+	if cap(sc.gBusy) < np {
+		sc.gBusy = make([]float64, np)
+	}
+	busy := sc.gBusy[:np]
+	for n := range busy {
+		busy[n] = 0
+	}
+	assign := sc.resultRows(ns)
 	for _, si := range order {
 		best, bestBusy := -1, math.Inf(1)
 		for n := 0; n < np; n++ {
@@ -301,11 +350,12 @@ func (Greedy) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64
 		busy[best] = bestBusy
 		assign[si] = grid.NodeID(best)
 	}
-	m := model.FromNodes(assign...)
-	pred, err := model.Predict(g, spec, m, loads)
+	m := model.Mapping{Assign: sc.resRows}
+	pred, err := model.PredictInto(g, spec, m, loads, sc.ps)
 	if err != nil {
 		return model.Mapping{}, model.Prediction{}, err
 	}
+	sc.busyKeep = pred.CloneBusyInto(sc.busyKeep)
 	return m, pred, nil
 }
 
@@ -333,12 +383,20 @@ func (l LocalSearch) Search(g *grid.Grid, spec model.PipelineSpec, loads []float
 // SearchAvail implements AvailSearcher: the climb's move set and the
 // random restarts draw from the available nodes only.
 func (l LocalSearch) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
-	ns, np := spec.NumStages(), g.NumNodes()
+	return searchPooled(l, g, spec, loads, avail)
+}
+
+// searchScratch implements scratchSearcher: the climb mutates one
+// scratch-owned mapping in place and the best start's result is kept
+// in the scratch's result storage. The evaluation sequence — greedy
+// start, per-move predictions, restart draws — is unchanged, so the
+// chosen mapping is identical to the allocating implementation's.
+func (l LocalSearch) searchScratch(sc *Scratch, g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool) (model.Mapping, model.Prediction, error) {
+	ns := spec.NumStages()
 	if ns == 0 {
 		return model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: empty pipeline")
 	}
-	ids, err := checkAvail(g, avail)
-	if err != nil {
+	if _, err := sc.idsFor(g, avail); err != nil {
 		return model.Mapping{}, model.Prediction{}, err
 	}
 	restarts := l.Restarts
@@ -351,79 +409,77 @@ func (l LocalSearch) SearchAvail(g *grid.Grid, spec model.PipelineSpec, loads []
 	}
 	r := rng.New(l.Seed)
 
-	climb := func(start model.Mapping) (model.Mapping, model.Prediction, error) {
-		cur := start.Clone()
-		pred, err := model.Predict(g, spec, cur, loads)
-		if err != nil {
-			return model.Mapping{}, model.Prediction{}, err
-		}
-		for iter := 0; iter < maxIters; iter++ {
-			improved := false
-			for si := 0; si < ns; si++ {
-				orig := cur.Assign[si][0]
-				for n := 0; n < np; n++ {
-					if grid.NodeID(n) == orig || !usable(avail, n) {
-						continue
-					}
-					cur.Assign[si][0] = grid.NodeID(n)
-					p, err := model.Predict(g, spec, cur, loads)
-					if err != nil {
-						return model.Mapping{}, model.Prediction{}, err
-					}
-					if p.Throughput > pred.Throughput*(1+1e-12) {
-						pred = p
-						orig = grid.NodeID(n)
-						improved = true
-					} else {
-						cur.Assign[si][0] = orig
-					}
-				}
-				cur.Assign[si][0] = orig
-			}
-			if !improved {
-				break
-			}
-		}
-		return cur, pred, nil
+	// Greedy start (its result lands in the result storage; copy it
+	// into the climb buffer before the climb overwrites anything).
+	if _, _, err := (Greedy{}).searchScratch(sc, g, spec, loads, avail); err != nil {
+		return model.Mapping{}, model.Prediction{}, err
 	}
-
-	bestM, bestP, err := func() (model.Mapping, model.Prediction, error) {
-		gm, _, err := (Greedy{}).SearchAvail(g, spec, loads, avail)
-		if err != nil {
-			return model.Mapping{}, model.Prediction{}, err
-		}
-		return climb(gm)
-	}()
+	sc.curBacking, sc.curRows = sizeRows(sc.curBacking, sc.curRows, ns)
+	copy(sc.curBacking, sc.resBacking)
+	bestP, err := sc.climb(g, spec, loads, avail, maxIters)
 	if err != nil {
 		return model.Mapping{}, model.Prediction{}, err
 	}
+	copy(sc.resBacking, sc.curBacking)
+	sc.busyKeep = bestP.CloneBusyInto(sc.busyKeep)
+	ids := sc.ids
 	for rs := 0; rs < restarts; rs++ {
-		assign := make([]grid.NodeID, ns)
-		for i := range assign {
-			assign[i] = ids[r.Intn(len(ids))]
+		for i := range sc.curBacking {
+			sc.curBacking[i] = ids[r.Intn(len(ids))]
 		}
-		m, p, err := climb(model.FromNodes(assign...))
+		p, err := sc.climb(g, spec, loads, avail, maxIters)
 		if err != nil {
 			return model.Mapping{}, model.Prediction{}, err
 		}
 		if p.Throughput > bestP.Throughput {
-			bestM, bestP = m, p
+			copy(sc.resBacking, sc.curBacking)
+			sc.busyKeep = p.CloneBusyInto(sc.busyKeep)
+			bestP = p
 		}
 	}
-	return bestM, bestP, nil
+	return model.Mapping{Assign: sc.resRows}, bestP, nil
 }
 
-// effectiveSpeeds returns per-node speed scaled by the load estimates.
-func effectiveSpeeds(g *grid.Grid, loads []float64) []float64 {
-	eff := make([]float64, g.NumNodes())
-	for n := range eff {
-		l := 0.0
-		if loads != nil && n < len(loads) {
-			l = math.Min(math.Max(loads[n], 0), 0.99)
-		}
-		eff[n] = g.Node(grid.NodeID(n)).Speed * (1 - l)
+// climb hill-climbs sc.curRows in place over single-stage moves,
+// returning the final prediction (NodeBusy detached into the scratch's
+// secondary keep buffer, so it survives later evaluations).
+func (sc *Scratch) climb(g *grid.Grid, spec model.PipelineSpec, loads []float64, avail []bool, maxIters int) (model.Prediction, error) {
+	ns, np := spec.NumStages(), g.NumNodes()
+	cur := model.Mapping{Assign: sc.curRows}
+	pred, err := model.PredictInto(g, spec, cur, loads, sc.ps)
+	if err != nil {
+		return model.Prediction{}, err
 	}
-	return eff
+	sc.busyKeep2 = pred.CloneBusyInto(sc.busyKeep2)
+	for iter := 0; iter < maxIters; iter++ {
+		improved := false
+		for si := 0; si < ns; si++ {
+			orig := sc.curBacking[si]
+			for n := 0; n < np; n++ {
+				if grid.NodeID(n) == orig || !usable(avail, n) {
+					continue
+				}
+				sc.curBacking[si] = grid.NodeID(n)
+				p, err := model.PredictInto(g, spec, cur, loads, sc.ps)
+				if err != nil {
+					return model.Prediction{}, err
+				}
+				if p.Throughput > pred.Throughput*(1+1e-12) {
+					sc.busyKeep2 = p.CloneBusyInto(sc.busyKeep2)
+					pred = p
+					orig = grid.NodeID(n)
+					improved = true
+				} else {
+					sc.curBacking[si] = orig
+				}
+			}
+			sc.curBacking[si] = orig
+		}
+		if !improved {
+			break
+		}
+	}
+	return pred, nil
 }
 
 // ImproveWithReplication greedily replicates the predicted bottleneck
@@ -447,10 +503,22 @@ func ImproveWithReplicationAvail(g *grid.Grid, spec model.PipelineSpec, m model.
 	if maxReplicas <= 0 {
 		maxReplicas = g.NumNodes()
 	}
+	// Evaluations run through one pooled scratch; retained predictions
+	// hop between two keep buffers (the current incumbent's busy vector
+	// and the round's best candidate) so nothing aliases the scratch
+	// when it is released.
+	ps := model.AcquirePredictScratch()
+	defer model.ReleasePredictScratch(ps)
+	var keepCur, keepCand []float64
 	cur := m.Clone()
-	pred, err := model.Predict(g, spec, cur, loads)
+	pred, err := model.PredictInto(g, spec, cur, loads, ps)
 	if err != nil {
 		return model.Mapping{}, model.Prediction{}, err
+	}
+	keepCur = pred.CloneBusyInto(keepCur)
+	detachPred := func(p model.Prediction) model.Prediction {
+		p.NodeBusy = append([]float64(nil), p.NodeBusy...)
+		return p
 	}
 	for {
 		// Find the stage on the bottleneck node with the largest work
@@ -467,7 +535,7 @@ func ImproveWithReplicationAvail(g *grid.Grid, spec model.PipelineSpec, m model.
 			}
 		}
 		if si < 0 {
-			return cur, pred, nil
+			return cur, detachPred(pred), nil
 		}
 		// Try adding each node not already hosting the stage; keep the
 		// best improvement.
@@ -479,19 +547,21 @@ func ImproveWithReplicationAvail(g *grid.Grid, spec model.PipelineSpec, m model.
 				continue
 			}
 			trial := cur.WithReplicas(si, append(append([]grid.NodeID{}, cur.Assign[si]...), id)...)
-			p, err := model.Predict(g, spec, trial, loads)
+			p, err := model.PredictInto(g, spec, trial, loads, ps)
 			if err != nil {
 				return model.Mapping{}, model.Prediction{}, err
 			}
 			if p.Throughput > bestP.Throughput*(1+1e-9) {
+				keepCand = p.CloneBusyInto(keepCand)
 				bestP, bestN = p, id
 			}
 		}
 		if bestN < 0 {
-			return cur, pred, nil
+			return cur, detachPred(pred), nil
 		}
 		cur = cur.WithReplicas(si, append(append([]grid.NodeID{}, cur.Assign[si]...), bestN)...)
 		pred = bestP
+		keepCur, keepCand = keepCand, keepCur
 	}
 }
 
