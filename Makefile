@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench-smoke bench bench-json bench-diff alloc-gate race
+.PHONY: check build vet test bench-smoke bench bench-json bench-diff alloc-gate stress-smoke race
 
 check: build vet test bench-smoke
 
@@ -28,7 +28,7 @@ bench:
 # Regenerate the machine-readable perf snapshot (see DESIGN.md,
 # "Benchmark protocol"; bump the file number to your PR number).
 bench-json:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_7.json
+	$(GO) run ./cmd/pipebench -bench -stress -benchout BENCH_8.json
 
 # Perf-regression gate: run a fresh snapshot and diff it against the
 # latest committed BENCH_<n>.json — fail on >MAXREGRESS ns/op
@@ -44,7 +44,16 @@ bench-diff:
 # Allocation-regression gate (the CI alloc-gate job): fail if any
 # hot-path micro-benchmark allocates per item.
 alloc-gate:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_7.json -maxallocs 0
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_8.json -maxallocs 0
+
+# A short RPS-ramp smoke (the CI stress-smoke step): a small grid and
+# coarse ramp, just enough to exercise trace generation → SubmitTrace
+# → knee detection end to end. The full-resolution ramp ships in the
+# committed BENCH_<n>.json via bench-json.
+stress-smoke:
+	$(GO) run ./cmd/pipebench -stress -stress-nodes 4 -stress-items 10 \
+		-stress-start 2 -stress-step 3 -stress-steps 4 -stress-horizon 60 \
+		-benchout /tmp/stress_smoke.json
 
 race:
 	$(GO) test -race ./...

@@ -87,6 +87,7 @@ func BenchmarkFarmUnordered(b *testing.B)        { benchMicro(b, "farm/unordered
 func BenchmarkExecRunItems(b *testing.B)         { benchMicro(b, "exec/run_items") }
 func BenchmarkSchedSearch(b *testing.B)          { benchMicro(b, "sched/search") }
 func BenchmarkClusterArbitrate(b *testing.B)     { benchMicro(b, "cluster/arbitrate") }
+func BenchmarkArrivalNext(b *testing.B)          { benchMicro(b, "workload/arrival_next") }
 
 // --- micro-benchmarks ---------------------------------------------------
 

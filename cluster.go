@@ -3,7 +3,9 @@ package gridpipe
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
+	"sync"
 	"time"
 
 	"gridpipe/internal/adaptive"
@@ -12,6 +14,7 @@ import (
 	"gridpipe/internal/conc"
 	"gridpipe/internal/grid"
 	"gridpipe/internal/model"
+	"gridpipe/internal/workload"
 )
 
 // Admission-control modes accepted by ClusterConfig.
@@ -175,6 +178,121 @@ func (c *Cluster) Submit(p *Pipeline, opts JobOpts) (*ClusterJob, error) {
 		return nil, err
 	}
 	return &ClusterJob{inner: j}, nil
+}
+
+// SubmitTrace replays a recorded JSON-lines traffic trace (see
+// DESIGN.md, "Traffic engine") into the simulated cluster: one job per
+// trace event, submitted in trace order at its recorded virtual
+// arrival time, running the named bundled workload. Per-job randomness
+// derives from submit order, so replaying a trace into a cluster with
+// the same configuration reproduces the generating run's report
+// exactly.
+func (c *Cluster) SubmitTrace(r io.Reader) ([]*ClusterJob, error) {
+	if c.inner == nil {
+		return nil, fmt.Errorf("gridpipe: SubmitTrace on a cluster built without a Grid")
+	}
+	tr, err := workload.ReadTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := c.inner.SubmitTrace(tr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*ClusterJob, len(jobs))
+	for i, j := range jobs {
+		out[i] = &ClusterJob{inner: j}
+	}
+	return out, nil
+}
+
+// ReplayOptions tunes a wall-clock trace replay (ProcessTrace).
+type ReplayOptions struct {
+	// Speedup divides the recorded inter-arrival gaps: 10 replays a
+	// 100-second trace in ~10 wall seconds (default 1 = real time).
+	Speedup float64
+	// Build constructs the live pipeline and its inputs for one trace
+	// event (required — a live pipeline is single-use, so every event
+	// needs a fresh one). It receives the event's app name and item
+	// count.
+	Build func(app string, items int) (*Pipeline, []any, error)
+}
+
+// TraceJobResult is one replayed trace event's outcome.
+type TraceJobResult struct {
+	// Index is the event's position in the trace; App its workload
+	// name.
+	Index int
+	App   string
+	// Outputs and Err are the event's Process results.
+	Outputs []any
+	Err     error
+}
+
+// ProcessTrace replays a recorded traffic trace against the live
+// runtime: each event waits out its recorded inter-arrival gap in wall
+// time (scaled by opts.Speedup), then runs a fresh pipeline from
+// opts.Build as one tenant of the cluster's shared worker budget —
+// open-loop, so a slow tenant does not delay later arrivals. It
+// returns one result per event, in trace order, once all have
+// finished; a cancelled context stops launching new events and is
+// reported as the error.
+func (c *Cluster) ProcessTrace(ctx context.Context, r io.Reader, opts ReplayOptions) ([]TraceJobResult, error) {
+	if opts.Build == nil {
+		return nil, fmt.Errorf("gridpipe: ProcessTrace needs a Build callback")
+	}
+	speedup := opts.Speedup
+	if speedup <= 0 {
+		speedup = 1
+	}
+	tr, err := workload.ReadTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]TraceJobResult, len(tr))
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	launchErr := error(nil)
+	prev := 0.0
+	for i, ev := range tr {
+		gap := time.Duration((ev.T - prev) / speedup * float64(time.Second))
+		prev = ev.T
+		if gap > 0 {
+			timer.Reset(gap)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				launchErr = ctx.Err()
+			}
+		}
+		if launchErr != nil {
+			// Stop launching; mark the unlaunched tail.
+			for j := i; j < len(tr); j++ {
+				results[j] = TraceJobResult{Index: j, App: tr[j].App, Err: launchErr}
+			}
+			break
+		}
+		p, inputs, err := opts.Build(ev.App, ev.Items)
+		if err != nil {
+			results[i] = TraceJobResult{Index: i, App: ev.App, Err: err}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ev workload.TraceEvent, p *Pipeline, inputs []any) {
+			defer wg.Done()
+			out, err := c.Process(ctx, p, inputs, JobOpts{
+				Name:   fmt.Sprintf("%s-%d", ev.App, i),
+				Weight: ev.Weight,
+			})
+			results[i] = TraceJobResult{Index: i, App: ev.App, Outputs: out, Err: err}
+		}(i, ev, p, inputs)
+	}
+	wg.Wait()
+	return results, launchErr
 }
 
 // ClusterJobReport is one job's outcome in a ClusterReport.

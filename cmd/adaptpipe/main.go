@@ -246,11 +246,13 @@ func runLive(wl, policyName string, items int, spike float64, bgload, budget int
 	}
 
 	opts := workload.LiveOptions{
-		Policy:     pol,
-		Items:      items,
-		SpikeLoad:  spike,
-		BgLoad:     bgload,
-		MaxWorkers: budget,
+		Policy:       pol,
+		Items:        items,
+		SpikeLoad:    spike,
+		BgLoad:       bgload,
+		MaxWorkers:   budget,
+		Victim:       workload.Auto,
+		InjectAtItem: workload.Auto,
 	}
 	out, err := workload.RunLive(app, opts)
 	if err != nil {

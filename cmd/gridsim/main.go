@@ -9,10 +9,17 @@
 //	gridsim -preset multisite -horizon 300
 //	gridsim -config grid.json -horizon 600 -csv
 //	gridsim -preset loaded -json
+//	gridsim -traffic bursty -rate 0.5 -traffic-out trace.jsonl
 //
 // -json emits one machine-readable document (the same tables as cell
 // arrays plus every node's sampled load series) instead of the text
 // rendering.
+//
+// -traffic previews an open-loop arrival stream instead of a grid: it
+// generates a job trace from the named arrival process (see DESIGN.md,
+// "Traffic engine"), prints the realised rate over windows, and with
+// -traffic-out records the JSON-lines trace for later replay through
+// the cluster (gridpipe.SubmitTrace / cluster.SubmitTrace).
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"gridpipe/internal/rng"
 	"gridpipe/internal/stats"
 	"gridpipe/internal/trace"
+	"gridpipe/internal/workload"
 )
 
 func main() {
@@ -41,8 +49,25 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the grid summary, tables, and load series as JSON")
 		seed       = flag.Uint64("seed", 42, "seed for stochastic presets")
 		parts      = flag.String("parts", "", "also show the simulation partition plan for this many partitions (0 = auto from NumCPU)")
+
+		traffic      = flag.String("traffic", "", "preview an arrival stream of this family (poisson, uniform, bursty, diurnal, pareto) instead of a grid")
+		rate         = flag.Float64("rate", 0.5, "traffic: mean job arrival rate in jobs/s")
+		trafficApp   = flag.String("traffic-app", "genome", "traffic: app every generated job runs")
+		trafficItems = flag.Int("traffic-items", 50, "traffic: items per generated job")
+		trafficOut   = flag.String("traffic-out", "", "traffic: record the generated JSON-lines trace to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
+
+	if *traffic != "" {
+		if err := previewTraffic(*traffic, *rate, *trafficApp, *trafficItems, *horizon, *seed, *trafficOut, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			if strings.Contains(err.Error(), "unknown arrival process") {
+				fmt.Fprintf(os.Stderr, "valid -traffic values: %s\n", strings.Join(workload.ArrivalFamilies(), " "))
+			}
+			os.Exit(1)
+		}
+		return
+	}
 
 	g, err := buildGrid(*configPath, *preset, *seed, *horizon)
 	if err != nil {
@@ -125,6 +150,63 @@ func main() {
 			fmt.Printf("--- %s ---\n%s", s.Name, s.CSV())
 		}
 	}
+}
+
+// previewTraffic generates an arrival stream, summarises its realised
+// rate over fixed windows, and optionally records the trace.
+func previewTraffic(family string, rate float64, app string, items int, horizon float64, seed uint64, out string, csv bool) error {
+	proc, err := workload.NewArrival(family, rate, rng.SeedFor(seed, 0))
+	if err != nil {
+		return err
+	}
+	tr, err := workload.GenerateTrace(proc, []workload.MixEntry{{App: app, Share: 1, Items: items}}, horizon, rng.SeedFor(seed, 1))
+	if err != nil {
+		return err
+	}
+	times := make([]float64, len(tr))
+	totalItems := 0
+	for i, ev := range tr {
+		times[i] = ev.T
+		totalItems += ev.Items
+	}
+	// Window the realised rate coarsely enough that each window expects
+	// several arrivals.
+	window := horizon / 10
+	if window <= 0 {
+		window = 1
+	}
+	rates := stats.WindowRate(times, 0, horizon, window)
+	tb := stats.NewTable(
+		fmt.Sprintf("traffic preview: %s arrivals at %.4g jobs/s over %.0f s (%s × %d items)",
+			proc.Name(), proc.Rate(), horizon, app, items),
+		"window start", "jobs/s")
+	for _, p := range rates.Points() {
+		tb.AddRowf(p.T-window/2, p.V)
+	}
+	realised := float64(len(tr)) / horizon
+	tb.AddNote("%d jobs (%d items); realised mean rate %.4g jobs/s vs configured %.4g", len(tr), totalItems, realised, proc.Rate())
+	fmt.Print(tb.String())
+	if csv {
+		fmt.Printf("--- arrival rate ---\n%s", rates.CSV())
+	}
+	if out != "" {
+		w := os.Stdout
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := tr.Write(w); err != nil {
+			return err
+		}
+		if out != "-" {
+			fmt.Printf("recorded %d-event trace to %s\n", len(tr), out)
+		}
+	}
+	return nil
 }
 
 // planDoc is the JSON rendering of a partition plan.

@@ -10,6 +10,7 @@
 //	pipebench -bench [-benchout BENCH_1.json] [-maxallocs 0]
 //	pipebench -bench -diff BENCH_4.json [-maxregress 0.20]
 //	pipebench -bench -cpuprofile cpu.pprof -memprofile mem.pprof
+//	pipebench -stress [-stress-process poisson] [-stress-steps 8]
 //
 // -all fans the experiments across a bounded worker pool (default one
 // worker per CPU); every experiment seeds its own RNG streams, so the
@@ -30,6 +31,13 @@
 // -cpuprofile/-memprofile write pprof profiles of whatever mode ran
 // (bench or experiments), the inputs of the benchmark protocol's
 // "profile before optimising" step (DESIGN.md).
+//
+// -stress runs the RPS stress ramp (see DESIGN.md, "Traffic engine"):
+// offered load walks upward in steps, each step drives an open-loop
+// job stream through a fresh admission-controlled cluster, and the
+// detected throughput knee lands in the report's `stress` section.
+// It combines with -bench (one BENCH_*.json carrying both sections)
+// or runs alone (a stress-only report).
 package main
 
 import (
@@ -66,6 +74,16 @@ func main() {
 		parts    = flag.String("parts", "", "with -bench: partition count for the parallel scaling sweep (0 = auto from NumCPU; unset = full sweep)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+
+		stressRun     = flag.Bool("stress", false, "run the RPS stress ramp (alone or combined with -bench)")
+		stressProc    = flag.String("stress-process", "poisson", "stress: arrival-process family (poisson, uniform, bursty, diurnal, pareto)")
+		stressApp     = flag.String("stress-app", "genome", "stress: bundled workload every job runs")
+		stressNodes   = flag.Int("stress-nodes", 8, "stress: simulated grid size")
+		stressItems   = flag.Int("stress-items", 20, "stress: items per job")
+		stressStart   = flag.Float64("stress-start", 4, "stress: first step's offered load in items/s")
+		stressStep    = flag.Float64("stress-step", 4, "stress: offered-load increment per step in items/s")
+		stressSteps   = flag.Int("stress-steps", 8, "stress: number of ramp steps")
+		stressHorizon = flag.Float64("stress-horizon", 240, "stress: arrival window per step in virtual seconds")
 	)
 	flag.Parse()
 
@@ -102,7 +120,7 @@ func main() {
 	switch {
 	case *list:
 		listExperiments(os.Stdout)
-	case *benchRun:
+	case *benchRun || *stressRun:
 		partsList, err := parseParts(*parts)
 		if err != nil {
 			// An invalid -parts is most often a typo: show the menu of
@@ -112,7 +130,21 @@ func main() {
 				partsMenu())
 			os.Exit(1)
 		}
-		if err := runBench(*benchOut, *maxAlloc, *diffPath, *maxRegr, partsList); err != nil {
+		var stressCfg *bench.StressConfig
+		if *stressRun {
+			stressCfg = &bench.StressConfig{
+				Nodes:       *stressNodes,
+				App:         *stressApp,
+				Process:     *stressProc,
+				ItemsPerJob: *stressItems,
+				StartRPS:    *stressStart,
+				StepRPS:     *stressStep,
+				Steps:       *stressSteps,
+				Horizon:     *stressHorizon,
+				Seed:        *seed,
+			}
+		}
+		if err := runBench(*benchOut, *maxAlloc, *diffPath, *maxRegr, partsList, *benchRun, stressCfg); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -179,6 +211,12 @@ type benchReport struct {
 	// partition/GOMAXPROCS point). Absent from snapshots predating the
 	// parallel core; bench-diff treats it as informational either way.
 	Parallel []bench.ParallelPoint `json:"parallel,omitempty"`
+	// Stress holds the RPS stress ramp (offered vs achieved items/s
+	// per step plus the detected knee). Absent from snapshots
+	// predating the traffic engine, and from plain -bench runs;
+	// bench-diff treats it as informational (the ramp is a
+	// virtual-time capacity measurement, not a wall-clock hot path).
+	Stress *bench.StressResult `json:"stress,omitempty"`
 	// SeedBaseline records the seed commit's (e363cbf) hot-path
 	// numbers, measured with the pre-rewrite benchmarks on the same
 	// class of machine, so every BENCH file carries the comparison
@@ -237,12 +275,11 @@ func partsMenu() string {
 	return strings.Join(vals, " ")
 }
 
-// runBench executes the micro suite and the parallel scaling sweep,
-// writes the JSON report, and applies the allocation gate (maxAlloc <
-// 0 disables it) and the snapshot-regression gate (diffPath empty
-// disables it).
-func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, partsList []int) error {
-	fmt.Printf("running %d hot-path micro-benchmarks...\n", len(bench.Micros()))
+// runBench executes the micro suite and the parallel scaling sweep
+// (micro true), the stress ramp (stress non-nil), or both, writes the
+// JSON report, and applies the allocation gate (maxAlloc < 0 disables
+// it) and the snapshot-regression gate (diffPath empty disables it).
+func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, partsList []int, micro bool, stress *bench.StressConfig) error {
 	rep := benchReport{
 		Bench:        strings.TrimSuffix(filepath.Base(out), ".json"),
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
@@ -250,29 +287,41 @@ func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, par
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		CPUs:         runtime.NumCPU(),
-		Micro:        bench.RunMicros(),
 		SeedBaseline: seedBaseline,
 	}
-	for _, m := range rep.Micro {
-		fmt.Printf("%-30s %12.1f ns/op %8d B/op %6d allocs/op %14.0f items/s\n",
-			m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.ItemsPerSec)
+	if micro {
+		fmt.Printf("running %d hot-path micro-benchmarks...\n", len(bench.Micros()))
+		rep.Micro = bench.RunMicros()
+		for _, m := range rep.Micro {
+			fmt.Printf("%-30s %12.1f ns/op %8d B/op %6d allocs/op %14.0f items/s\n",
+				m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.ItemsPerSec)
+		}
+		sched, err := bench.SchedSearchTelemetry()
+		if err != nil {
+			return err
+		}
+		rep.Sched = &sched
+		fmt.Printf("sched pruning (%s): %d candidates, %d evaluated, %.0fx\n",
+			sched.Config, sched.Candidates, sched.Evaluated, sched.PruneRatio)
+		fmt.Println("running the partitioned-engine scaling sweep (10k nodes, 16 tenants)...")
+		par, err := bench.ParallelScaling(42, partsList, nil)
+		if err != nil {
+			return err
+		}
+		rep.Parallel = par
+		for _, p := range par {
+			fmt.Printf("parallel parts=%-3d procs=%-3d %10d events %12.0f events/s %6.2fx vs 1\n",
+				p.Parts, p.Procs, p.Events, p.EventsPerSec, p.SpeedupVs1)
+		}
 	}
-	sched, err := bench.SchedSearchTelemetry()
-	if err != nil {
-		return err
-	}
-	rep.Sched = &sched
-	fmt.Printf("sched pruning (%s): %d candidates, %d evaluated, %.0fx\n",
-		sched.Config, sched.Candidates, sched.Evaluated, sched.PruneRatio)
-	fmt.Println("running the partitioned-engine scaling sweep (10k nodes, 16 tenants)...")
-	par, err := bench.ParallelScaling(42, partsList, nil)
-	if err != nil {
-		return err
-	}
-	rep.Parallel = par
-	for _, p := range par {
-		fmt.Printf("parallel parts=%-3d procs=%-3d %10d events %12.0f events/s %6.2fx vs 1\n",
-			p.Parts, p.Procs, p.Events, p.EventsPerSec, p.SpeedupVs1)
+	if stress != nil {
+		fmt.Println("running the RPS stress ramp...")
+		sres, err := bench.StressRamp(*stress)
+		if err != nil {
+			return err
+		}
+		rep.Stress = sres
+		fmt.Print(bench.StressTable(sres).String())
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

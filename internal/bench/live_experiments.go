@@ -51,9 +51,11 @@ func runF11Sized(items int) (*Result, error) {
 	var staticUnder float64
 	for _, pol := range policies {
 		out, err := workload.RunLive(app, workload.LiveOptions{
-			Policy:    pol,
-			Items:     items,
-			SpikeLoad: 0.6,
+			Policy:       pol,
+			Items:        items,
+			SpikeLoad:    0.6,
+			Victim:       workload.Auto,
+			InjectAtItem: workload.Auto,
 		})
 		if err != nil {
 			return nil, err

@@ -23,6 +23,7 @@ import (
 	"gridpipe/internal/model"
 	"gridpipe/internal/pipeline"
 	"gridpipe/internal/sim"
+	"gridpipe/internal/workload"
 )
 
 // Micro is one named micro-benchmark.
@@ -74,6 +75,11 @@ func Micros() []Micro {
 			Name: "exec/run_items",
 			Desc: "end-to-end simulated item through a 4-stage mapped pipeline (pooled items/tasks/transfers)",
 			Run:  benchExecRunItems,
+		},
+		{
+			Name: "workload/arrival_next",
+			Desc: "open-loop arrival generation: 64 Next draws per op across poisson/bursty/diurnal/pareto (items/s = arrival events)",
+			Run:  benchArrivalNext,
 		},
 		{
 			Name: "sched/search",
@@ -213,6 +219,28 @@ func benchFarmUnordered(b *testing.B) {
 		b.Fatal(err)
 	}
 	stageItems(b, f.Run)
+}
+
+func benchArrivalNext(b *testing.B) {
+	procs := []workload.ArrivalProcess{
+		workload.NewPoisson(10, 1),
+		workload.NewBursty(5, 20, 20, 10, 2),
+		workload.NewDiurnal(10, 6, 120, 0, 3),
+		workload.NewPareto(10, 1.5, 4),
+	}
+	sink := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := procs[i&3]
+		for j := 0; j < calendarBatch; j++ {
+			sink += p.Next()
+		}
+	}
+	b.ReportMetric(float64(b.N*calendarBatch)/b.Elapsed().Seconds(), "items/s")
+	if sink < 0 {
+		b.Fatal("negative gap sum")
+	}
 }
 
 func benchExecRunItems(b *testing.B) {

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// smallRamp keeps stress tests fast: a short ramp over a small grid
+// with modest horizons, sized so the later steps clearly saturate.
+func smallRamp() StressConfig {
+	return StressConfig{
+		Nodes:       4,
+		ItemsPerJob: 10,
+		StartRPS:    2,
+		StepRPS:     3,
+		Steps:       5,
+		Horizon:     120,
+		Seed:        7,
+	}
+}
+
+func TestStressRampShape(t *testing.T) {
+	res, err := StressRamp(smallRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 5 {
+		t.Fatalf("got %d steps", len(res.Steps))
+	}
+	for i, s := range res.Steps {
+		if want := 2 + float64(i)*3; s.OfferedRPS != want {
+			t.Errorf("step %d offered %v, want %v", i, s.OfferedRPS, want)
+		}
+		if s.Jobs <= 0 || s.Items != s.Jobs*10 {
+			t.Errorf("step %d jobs=%d items=%d", i, s.Jobs, s.Items)
+		}
+		if s.AchievedRPS <= 0 || s.MakespanSec <= 0 {
+			t.Errorf("step %d achieved=%v makespan=%v", i, s.AchievedRPS, s.MakespanSec)
+		}
+		// Open loop: achieved throughput can never exceed offered by
+		// more than arrival noise, and never exceeds cluster capacity.
+		if s.AchievedRPS > 1.5*s.OfferedRPS {
+			t.Errorf("step %d achieved %v wildly above offered %v", i, s.AchievedRPS, s.OfferedRPS)
+		}
+	}
+	// The 4-node genome cluster caps out near 9.5 items/s, so a ramp
+	// to 14 offered must saturate: the last step cannot achieve its
+	// offered load.
+	last := res.Steps[len(res.Steps)-1]
+	if last.AchievedRPS > 0.9*last.OfferedRPS {
+		t.Errorf("ramp never saturated: last step achieved %v of %v offered", last.AchievedRPS, last.OfferedRPS)
+	}
+	if res.KneeIndex >= 0 && res.KneeRPS != res.Steps[res.KneeIndex].OfferedRPS {
+		t.Errorf("KneeRPS %v does not match step %d offered %v", res.KneeRPS, res.KneeIndex, res.Steps[res.KneeIndex].OfferedRPS)
+	}
+}
+
+func TestStressRampDeterministic(t *testing.T) {
+	a, err := StressRamp(smallRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := StressRamp(smallRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed ramps differ")
+	}
+	cfg := smallRamp()
+	cfg.Seed = 8
+	c, err := StressRamp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical ramps")
+	}
+}
+
+func TestStressRampValidation(t *testing.T) {
+	cfg := smallRamp()
+	cfg.App = "bogus"
+	if _, err := StressRamp(cfg); err == nil {
+		t.Error("unknown app accepted")
+	}
+	cfg = smallRamp()
+	cfg.Process = "bogus"
+	if _, err := StressRamp(cfg); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+}
+
+func TestStressTable(t *testing.T) {
+	res, err := StressRamp(smallRamp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := StressTable(res).String()
+	if !strings.Contains(out, "offered") || !strings.Contains(out, "achieved") {
+		t.Fatalf("table missing columns:\n%s", out)
+	}
+	if res.KneeIndex >= 0 && !strings.Contains(out, "knee") {
+		t.Fatalf("knee not marked:\n%s", out)
+	}
+}

@@ -1,0 +1,27 @@
+package cluster
+
+import "gridpipe/internal/workload"
+
+// SubmitTrace replays an open-loop traffic trace into the cluster: one
+// Submit per trace event, in trace order, each at its recorded virtual
+// arrival time. Because per-job seeds derive from submit order
+// (rng.SeedFor(cfg.Seed, index)), replaying a recorded trace into a
+// cluster with the same Config reproduces the generating run's Report
+// bit-identically. Returns the submitted jobs in trace order; on error
+// the already-submitted prefix remains registered (the cluster has not
+// started, so the caller can simply discard it).
+func (c *Cluster) SubmitTrace(tr workload.Trace) ([]*Job, error) {
+	specs, err := tr.JobSpecs()
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]*Job, 0, len(specs))
+	for _, spec := range specs {
+		j, err := c.Submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,50 @@
+package stats
+
+import "math"
+
+// KneeIndex locates the saturation knee of a load/throughput ramp:
+// the first step at which the marginal throughput gain per unit of
+// offered load — smoothed over a rolling window of the preceding
+// steps' slopes — collapses below frac of the ramp's initial slope.
+// It is the detector behind the pipebench stress ramp: below the knee
+// added load buys proportional throughput, past it the system is
+// saturated and added load only buys queueing.
+//
+// offered must be strictly increasing; achieved is the measured
+// throughput at each offered level. window is the rolling-slope
+// window in steps (minimum 1; a small window rides out single-step
+// measurement noise without smearing the knee), and frac in (0, 1) is
+// the collapse threshold. Returns the index into the ramp of the
+// first saturated step, or -1 when the ramp never knees (every
+// smoothed slope holds above the threshold) or the inputs are too
+// short or malformed to call.
+func KneeIndex(offered, achieved []float64, window int, frac float64) int {
+	n := len(offered)
+	if n != len(achieved) || n < 3 || frac <= 0 || frac >= 1 {
+		return -1
+	}
+	if window < 1 {
+		window = 1
+	}
+	for i := 1; i < n; i++ {
+		if !(offered[i] > offered[i-1]) { // also rejects NaN
+			return -1
+		}
+	}
+	// The reference slope is the ramp's first marginal gain — the
+	// unsaturated region's exchange rate of offered load for
+	// throughput.
+	initial := (achieved[1] - achieved[0]) / (offered[1] - offered[0])
+	if math.IsNaN(initial) || initial <= 0 {
+		return -1
+	}
+	roll := NewRing(window)
+	roll.Add(initial)
+	for i := 2; i < n; i++ {
+		roll.Add((achieved[i] - achieved[i-1]) / (offered[i] - offered[i-1]))
+		if m := roll.Mean(); !math.IsNaN(m) && m < frac*initial {
+			return i
+		}
+	}
+	return -1
+}

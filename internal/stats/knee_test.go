@@ -1,0 +1,65 @@
+package stats
+
+import "testing"
+
+func TestKneeIndexDetectsSaturation(t *testing.T) {
+	// Linear to 20, hard plateau past index 4. The window-2 rolling
+	// mean still holds one full-slope sample at index 5, so the
+	// detector confirms the collapse one step later, at index 6.
+	offered := []float64{4, 8, 12, 16, 20, 24, 28, 32}
+	achieved := []float64{4, 8, 12, 16, 20, 20.2, 20.3, 20.3}
+	if got := KneeIndex(offered, achieved, 2, 0.5); got != 6 {
+		t.Fatalf("knee at %d, want 6", got)
+	}
+	// An unsmoothed detector (window 1) fires at the first plateau
+	// sample.
+	if got := KneeIndex(offered, achieved, 1, 0.5); got != 5 {
+		t.Fatalf("window-1 knee at %d, want 5", got)
+	}
+}
+
+func TestKneeIndexLinearHasNoKnee(t *testing.T) {
+	offered := []float64{1, 2, 3, 4, 5, 6}
+	achieved := []float64{1, 2, 3, 4, 5, 6}
+	if got := KneeIndex(offered, achieved, 2, 0.5); got != -1 {
+		t.Fatalf("knee %d on a perfectly linear ramp", got)
+	}
+}
+
+func TestKneeIndexWindowSmoothsNoise(t *testing.T) {
+	// One noisy dip at index 3 recovers immediately; a window of 3
+	// must not fire on it, but the true plateau from index 5 on still
+	// registers.
+	offered := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	achieved := []float64{2, 4, 6, 6.5, 10, 10.4, 10.5, 10.5}
+	got := KneeIndex(offered, achieved, 3, 0.5)
+	if got <= 3 {
+		t.Fatalf("window did not smooth the transient dip: knee %d", got)
+	}
+	if got == -1 {
+		t.Fatal("missed the real plateau")
+	}
+}
+
+func TestKneeIndexRejectsBadInput(t *testing.T) {
+	lin := []float64{1, 2, 3}
+	cases := []struct {
+		name              string
+		offered, achieved []float64
+		window            int
+		frac              float64
+	}{
+		{"too short", []float64{1, 2}, []float64{1, 2}, 2, 0.5},
+		{"length mismatch", lin, []float64{1, 2}, 2, 0.5},
+		{"non-increasing offered", []float64{1, 3, 2}, lin, 2, 0.5},
+		{"repeated offered", []float64{1, 1, 2}, lin, 2, 0.5},
+		{"frac zero", lin, lin, 2, 0},
+		{"frac one", lin, lin, 2, 1},
+		{"flat initial slope", []float64{1, 2, 3}, []float64{5, 5, 5}, 2, 0.5},
+	}
+	for _, c := range cases {
+		if got := KneeIndex(c.offered, c.achieved, c.window, c.frac); got != -1 {
+			t.Errorf("%s: got %d, want -1", c.name, got)
+		}
+	}
+}

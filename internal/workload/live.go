@@ -83,6 +83,14 @@ func (r *Resource) Fn(baseSeconds float64) func(ctx context.Context, v any) (any
 	}
 }
 
+// Auto is the explicit "pick the default" sentinel for
+// LiveOptions.Victim (the heaviest stage) and
+// LiveOptions.InjectAtItem (one third of the stream). The sentinel is
+// negative so the zero values stay meaningful: stage 0 is a real
+// victim and item 0 a real injection point — before the sentinel,
+// zero meant "unset" and neither could be targeted.
+const Auto = -1
+
 // LiveOptions tunes RunLive.
 type LiveOptions struct {
 	// Policy drives the live controller (PolicyStatic = inert
@@ -94,11 +102,15 @@ type LiveOptions struct {
 	// stage's backing resource after InjectAtItem completions
 	// (0 or negative = no spike; 0.6 inflates its service time 2.5×).
 	SpikeLoad float64
-	// Victim is the stage whose resource the spike hits (default the
-	// heaviest stage).
+	// Victim is the stage whose resource the spike hits: a stage index
+	// (0 targets the first stage) or Auto for the heaviest stage.
+	// Callers that inject should set it explicitly — the zero value
+	// means stage 0 (it is only consulted when a spike or background
+	// load is configured).
 	Victim int
-	// InjectAtItem is the completion count at which injection happens
-	// (default Items/3).
+	// InjectAtItem is the completion count at which injection happens:
+	// an item index (0 injects before the first completion) or Auto
+	// for Items/3. Like Victim, the zero value is a real position.
 	InjectAtItem int
 	// BgLoad additionally starts this many in-process CPU hogs at the
 	// injection point (default 0; real scheduler contention on top of
@@ -208,11 +220,15 @@ func RunLive(app App, opts LiveOptions) (LiveOutcome, error) {
 	if opts.SpikeLoad < 0 {
 		opts.SpikeLoad = 0
 	}
-	if opts.Victim <= 0 || opts.Victim >= app.Spec.NumStages() {
+	if opts.Victim < 0 {
 		opts.Victim = heaviestStage(app)
+	} else if opts.Victim >= app.Spec.NumStages() {
+		return LiveOutcome{}, fmt.Errorf("workload: victim stage %d out of range (app has %d stages)", opts.Victim, app.Spec.NumStages())
 	}
-	if opts.InjectAtItem <= 0 || opts.InjectAtItem >= opts.Items {
+	if opts.InjectAtItem < 0 {
 		opts.InjectAtItem = opts.Items / 3
+	} else if opts.InjectAtItem >= opts.Items {
+		return LiveOutcome{}, fmt.Errorf("workload: injection point %d beyond the %d-item stream", opts.InjectAtItem, opts.Items)
 	}
 	inject := opts.SpikeLoad > 0 || opts.BgLoad > 0
 
@@ -259,6 +275,20 @@ func RunLive(app App, opts LiveOptions) (LiveOutcome, error) {
 		bgStop   func()
 		tBefore  float64
 	)
+	doInject := func() {
+		injected = true
+		tBefore = time.Since(t0).Seconds()
+		if opts.SpikeLoad > 0 {
+			resources[opts.Victim].SetLoad(opts.SpikeLoad)
+		}
+		if opts.BgLoad > 0 {
+			bgStop = BackgroundLoad(opts.BgLoad)
+		}
+	}
+	if inject && opts.InjectAtItem == 0 {
+		// Item 0: the spike is present from the very first completion.
+		doInject()
+	}
 	for v := range out {
 		if v.(int) != seen {
 			ctrl.Stop()
@@ -267,14 +297,7 @@ func RunLive(app App, opts LiveOptions) (LiveOutcome, error) {
 		seen++
 		ctrl.NoteCompletion()
 		if inject && !injected && seen == opts.InjectAtItem {
-			injected = true
-			tBefore = time.Since(t0).Seconds()
-			if opts.SpikeLoad > 0 {
-				resources[opts.Victim].SetLoad(opts.SpikeLoad)
-			}
-			if opts.BgLoad > 0 {
-				bgStop = BackgroundLoad(opts.BgLoad)
-			}
+			doInject()
 		}
 	}
 	ctrl.Stop()
@@ -297,7 +320,9 @@ func RunLive(app App, opts LiveOptions) (LiveOutcome, error) {
 		outc.Victim = opts.Victim
 	}
 	if injected && elapsed > tBefore {
-		outc.ThroughputBefore = float64(opts.InjectAtItem) / tBefore
+		if tBefore > 0 {
+			outc.ThroughputBefore = float64(opts.InjectAtItem) / tBefore
+		}
 		outc.ThroughputUnder = float64(seen-opts.InjectAtItem) / (elapsed - tBefore)
 	}
 	for _, ev := range ctrl.Stats().Events {

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastLive keeps the wall-clock cost of a live test run tiny.
+func fastLive(items int) LiveOptions {
+	return LiveOptions{
+		Items:        items,
+		MaxWorkers:   8,
+		Scale:        0.0005,
+		Victim:       Auto,
+		InjectAtItem: Auto,
+	}
+}
+
+// Victim: 0 must target the first stage — before the Auto sentinel,
+// zero meant "unset" and stage 0 could never be spiked.
+func TestRunLiveVictimZeroTargetsFirstStage(t *testing.T) {
+	app := Genome() // heaviest stage is align (index 1), not 0
+	opts := fastLive(60)
+	opts.SpikeLoad = 0.5
+	opts.Victim = 0
+	out, err := RunLive(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Victim != 0 {
+		t.Fatalf("Victim: 0 hit stage %d, want stage 0", out.Victim)
+	}
+}
+
+func TestRunLiveAutoVictimPicksHeaviest(t *testing.T) {
+	app := Genome()
+	opts := fastLive(60)
+	opts.SpikeLoad = 0.5
+	out, err := RunLive(app, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := heaviestStage(app); out.Victim != want {
+		t.Fatalf("Auto victim hit stage %d, want heaviest %d", out.Victim, want)
+	}
+}
+
+// InjectAtItem: 0 injects before the first completion: the whole run
+// executes under load, so there is no pre-injection throughput split.
+func TestRunLiveInjectAtItemZero(t *testing.T) {
+	opts := fastLive(60)
+	opts.SpikeLoad = 0.5
+	opts.Victim = 0
+	opts.InjectAtItem = 0
+	out, err := RunLive(Genome(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Items != 60 {
+		t.Fatalf("completed %d of 60", out.Items)
+	}
+	if out.ThroughputBefore != 0 {
+		t.Errorf("pre-injection throughput %v for injection at item 0", out.ThroughputBefore)
+	}
+	if out.ThroughputUnder <= 0 {
+		t.Errorf("under-load throughput %v", out.ThroughputUnder)
+	}
+}
+
+func TestRunLiveRejectsOutOfRange(t *testing.T) {
+	opts := fastLive(10)
+	opts.SpikeLoad = 0.5
+	opts.Victim = 99
+	if _, err := RunLive(Genome(), opts); err == nil || !strings.Contains(err.Error(), "victim") {
+		t.Fatalf("out-of-range victim: %v", err)
+	}
+	opts = fastLive(10)
+	opts.SpikeLoad = 0.5
+	opts.InjectAtItem = 10
+	if _, err := RunLive(Genome(), opts); err == nil || !strings.Contains(err.Error(), "injection") {
+		t.Fatalf("out-of-range injection point: %v", err)
+	}
+}

@@ -45,8 +45,10 @@ func (a App) Sampler(seed uint64) func(stage, seq int) float64 {
 			return 0
 		}
 		// A private stream per (stage, seq) keeps sampling independent
-		// of processing order.
-		r := root.Derive(uint64(stage)<<32 | uint64(uint32(seq)))
+		// of processing order. The label is a full 64-bit key mix —
+		// packing stage and seq into bit ranges would truncate seq to
+		// 32 bits, aliasing items 2^32 apart under open-loop streams.
+		r := root.Derive(rng.SeedFor(uint64(stage), uint64(seq)))
 		mu := math.Log(mean) - sigma2/2
 		return r.LogNormal(mu, sigma)
 	}

@@ -96,6 +96,43 @@ func TestSamplerDeterministicPerItem(t *testing.T) {
 	}
 }
 
+// Regression: the sampler's derive key used to be
+// stage<<32 | uint32(seq), truncating seq to 32 bits — items whose
+// sequence numbers differ by 2^32 drew identical demand under
+// open-loop streams.
+func TestSamplerNoSeqAliasing(t *testing.T) {
+	app := Genome()
+	s := app.Sampler(5)
+	const wrap = 1 << 32
+	for stage := range app.Spec.Stages {
+		for _, seq := range []int{0, 1, 12345} {
+			if s(stage, seq) == s(stage, seq+wrap) {
+				t.Errorf("stage %d: seq %d and %d draw identical demand (32-bit aliasing)", stage, seq, seq+wrap)
+			}
+		}
+	}
+}
+
+// Distinct (stage, seq) pairs must get distinct streams across the
+// full 64-bit seq range, including the bit positions the old packed
+// key could collide on.
+func TestSamplerDistinctPairsDistinctDraws(t *testing.T) {
+	app := Genome()
+	s := app.Sampler(9)
+	seqs := []int{0, 1, 2, 65535, 65536, 1 << 31, 1 << 32, 1<<32 + 1, 1 << 40}
+	type pair struct{ stage, seq int }
+	seen := map[float64]pair{}
+	for stage := range app.Spec.Stages {
+		for _, seq := range seqs {
+			w := s(stage, seq)
+			if prev, dup := seen[w]; dup {
+				t.Errorf("(%d,%d) and (%d,%d) draw identical demand %v", prev.stage, prev.seq, stage, seq, w)
+			}
+			seen[w] = pair{stage, seq}
+		}
+	}
+}
+
 func TestDeterministicAppHasNilSampler(t *testing.T) {
 	app := Balanced(4, 0.1, 100)
 	if app.Sampler(1) != nil {
@@ -142,8 +179,11 @@ func TestAppsRunOnGrid(t *testing.T) {
 		measured := float64(n) / makespan
 		// Variable service times push measured throughput below the
 		// deterministic saturation bound; allow a broad but meaningful
-		// band.
-		if measured > pred.Throughput*1.02 {
+		// band. The upper check needs slack too: the sampled mean
+		// demand over 800 items at CV 0.8 wanders a few percent below
+		// the spec mean, letting measured throughput edge past the
+		// spec-mean bound.
+		if measured > pred.Throughput*1.05 {
 			t.Errorf("%s: measured %v exceeds model bound %v", app.Name, measured, pred.Throughput)
 		}
 		if measured < pred.Throughput*0.5 {
