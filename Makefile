@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench-smoke bench bench-json bench-diff alloc-gate stress-smoke race
+.PHONY: check build vet test bench-smoke bench bench-json bench-diff alloc-gate stress-smoke grain-smoke race
 
 check: build vet test bench-smoke
 
@@ -19,7 +19,7 @@ test:
 # quick pass each, with -benchmem so allocation regressions surface in
 # the gate.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'EngineScheduleStep|PartitionWindow|ReorderStage$$|FarmUnordered|ExecRunItems' -benchmem -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'EngineScheduleStep|PartitionWindow|ReorderStage$$|BatchBoundary|FarmUnordered|ExecRunItems' -benchmem -benchtime 100x .
 
 # The full benchmark suite: every experiment + every micro-benchmark.
 bench:
@@ -28,7 +28,7 @@ bench:
 # Regenerate the machine-readable perf snapshot (see DESIGN.md,
 # "Benchmark protocol"; bump the file number to your PR number).
 bench-json:
-	$(GO) run ./cmd/pipebench -bench -stress -benchout BENCH_8.json
+	$(GO) run ./cmd/pipebench -bench -stress -benchout BENCH_9.json
 
 # Perf-regression gate: run a fresh snapshot and diff it against the
 # latest committed BENCH_<n>.json — fail on >MAXREGRESS ns/op
@@ -44,7 +44,7 @@ bench-diff:
 # Allocation-regression gate (the CI alloc-gate job): fail if any
 # hot-path micro-benchmark allocates per item.
 alloc-gate:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_8.json -maxallocs 0
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_9.json -maxallocs 0
 
 # A short RPS-ramp smoke (the CI stress-smoke step): a small grid and
 # coarse ramp, just enough to exercise trace generation → SubmitTrace
@@ -54,6 +54,14 @@ stress-smoke:
 	$(GO) run ./cmd/pipebench -stress -stress-nodes 4 -stress-items 10 \
 		-stress-start 2 -stress-step 3 -stress-steps 4 -stress-horizon 60 \
 		-benchout /tmp/stress_smoke.json
+
+# A short grain-sweep smoke (the CI grain-smoke step): two ladder
+# points with a reduced item count, just enough to exercise the
+# batched boundary's throughput and paced-p99 measurement end to end.
+# The full ladder ships in the committed BENCH_<n>.json `batch`
+# section via bench-json.
+grain-smoke:
+	$(GO) run ./cmd/pipebench -grainsweep -grain 1,8 -grain-items 10000
 
 race:
 	$(GO) test -race ./...

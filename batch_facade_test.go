@@ -1,0 +1,106 @@
+package gridpipe
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestWithBatchOrderedOutputUnchanged(t *testing.T) {
+	mk := func() *Pipeline {
+		p, err := New(
+			Stage("tag", func(_ context.Context, v any) (any, error) {
+				return fmt.Sprintf("t%d", v), nil
+			}, Weight(0.01)),
+			Stage("up", func(_ context.Context, v any) (any, error) {
+				return v.(string) + "!", nil
+			}, Weight(0.02), Replicable(), Replicas(3)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	in := make([]any, 200)
+	for i := range in {
+		in[i] = i
+	}
+	plain := mk()
+	want, err := plain.Process(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := mk()
+	if err := batched.WithBatch(16, BatchOptions{Linger: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := batched.Process(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d outputs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWithBatchValidates(t *testing.T) {
+	p, err := New(Stage("a", sleeper(time.Microsecond), Weight(0.01)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WithBatch(0); err == nil {
+		t.Fatal("WithBatch(0) accepted")
+	}
+	if err := p.WithBatch(-7); err == nil {
+		t.Fatal("WithBatch(-7) accepted")
+	}
+	// Auto grain without a live controller must refuse at build time.
+	if err := p.WithBatch(GrainAuto); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Process(context.Background(), []any{1}); err == nil {
+		t.Fatal("GrainAuto without WithLiveAdaptive should fail to start")
+	}
+}
+
+func TestWithBatchGrainAutoReports(t *testing.T) {
+	p, err := New(
+		Stage("w", func(_ context.Context, v any) (any, error) { return v, nil },
+			Weight(0.01), Replicable(), Replicas(2)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WithLiveAdaptive(PolicyPeriodic, LiveAdaptiveOptions{
+		Interval: 10 * time.Millisecond,
+		Cooldown: 20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WithBatch(GrainAuto, BatchOptions{Max: 32}); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]any, 50000)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := p.Process(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != in[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+	rep := p.LiveAdaptiveReport()
+	if rep.Grain < 1 || rep.Grain > 32 {
+		t.Fatalf("reported grain %d outside [1, 32]", rep.Grain)
+	}
+}

@@ -82,6 +82,7 @@ func BenchmarkEngineSeedCalendar(b *testing.B)   { benchMicro(b, "engine/seed_ca
 func BenchmarkEngineScheduleCancel(b *testing.B) { benchMicro(b, "engine/schedule_cancel") }
 func BenchmarkPartitionWindow(b *testing.B)      { benchMicro(b, "engine/partition_window") }
 func BenchmarkReorderStage(b *testing.B)         { benchMicro(b, "pipeline/reorder_stage") }
+func BenchmarkBatchBoundary(b *testing.B)        { benchMicro(b, "pipeline/batch_boundary") }
 func BenchmarkSeedReorderStage(b *testing.B)     { benchMicro(b, "pipeline/seed_reorder_stage") }
 func BenchmarkFarmUnordered(b *testing.B)        { benchMicro(b, "farm/unordered") }
 func BenchmarkExecRunItems(b *testing.B)         { benchMicro(b, "exec/run_items") }

@@ -54,11 +54,12 @@ func main() {
 		spike    = flag.Float64("spike", 0.6, "live: background load injected on the heaviest stage's resource mid-run (0..0.95; 0 = none)")
 		bgload   = flag.Int("bgload", 0, "live: additionally start this many in-process CPU hogs at the injection point")
 		workers  = flag.Int("workers", 0, "live: total worker budget (default 16)")
+		batch    = flag.Int("batch", 0, "live: boundary batch size (0 = per-item, -1 = adapted by the controller)")
 	)
 	flag.Parse()
 	var err error
 	if *live {
-		err = runLive(*wl, *policy, *items, *spike, *bgload, *workers)
+		err = runLive(*wl, *policy, *items, *spike, *bgload, *workers, *batch)
 	} else {
 		err = run(*wl, *gridPath, *nodes, *policy, *items, *duration, *seed, *explain, *kill)
 	}
@@ -214,7 +215,7 @@ func run(wl, gridPath string, nodes int, policyName string, items int, duration 
 // the run, -spike lands background load on the heaviest stage's
 // resource (and -bgload starts real CPU hogs); a static baseline then
 // quantifies the recovery the policy bought.
-func runLive(wl, policyName string, items int, spike float64, bgload, budget int) error {
+func runLive(wl, policyName string, items int, spike float64, bgload, budget, batch int) error {
 	if wl == "" {
 		// The sensible live default: every genome stage is replicable,
 		// so worker rebalancing has the whole pipeline to play with.
@@ -245,6 +246,12 @@ func runLive(wl, policyName string, items int, spike float64, bgload, budget int
 		fmt.Printf("injection at item %d: %d in-process CPU hogs\n", items/3, bgload)
 	}
 
+	if batch < 0 {
+		batch = workload.Auto
+		fmt.Println("boundary batching: grain adapted by the controller")
+	} else if batch > 1 {
+		fmt.Printf("boundary batching: fixed grain %d\n", batch)
+	}
 	opts := workload.LiveOptions{
 		Policy:       pol,
 		Items:        items,
@@ -253,6 +260,7 @@ func runLive(wl, policyName string, items int, spike float64, bgload, budget int
 		MaxWorkers:   budget,
 		Victim:       workload.Auto,
 		InjectAtItem: workload.Auto,
+		Batch:        batch,
 	}
 	out, err := workload.RunLive(app, opts)
 	if err != nil {
@@ -264,7 +272,7 @@ func runLive(wl, policyName string, items int, spike float64, bgload, budget int
 		if injected {
 			fmt.Printf(" (%.1f before load, %.1f under load)", r.ThroughputBefore, r.ThroughputUnder)
 		}
-		fmt.Printf("\n[%s] %d resizes, final workers %v\n", label, len(r.Events), r.Replicas)
+		fmt.Printf("\n[%s] %d resizes, final workers %v, final grain %d\n", label, len(r.Events), r.Replicas, r.Grain)
 		for _, ev := range r.Events {
 			fmt.Printf("  t=%5.2fs resize %s -> %s (predicted %.1f -> %.1f items/s)\n",
 				ev.Time, ev.From, ev.To, ev.PredictedOld, ev.PredictedNew)
@@ -274,6 +282,11 @@ func runLive(wl, policyName string, items int, spike float64, bgload, budget int
 
 	if injected && pol != adaptive.PolicyStatic {
 		opts.Policy = adaptive.PolicyStatic
+		if opts.Batch == workload.Auto {
+			// The static baseline cannot walk grain; pin the one the
+			// adaptive run settled on so the comparison isolates policy.
+			opts.Batch = out.Grain
+		}
 		base, err := workload.RunLive(app, opts)
 		if err != nil {
 			return err

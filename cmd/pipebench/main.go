@@ -11,6 +11,8 @@
 //	pipebench -bench -diff BENCH_4.json [-maxregress 0.20]
 //	pipebench -bench -cpuprofile cpu.pprof -memprofile mem.pprof
 //	pipebench -stress [-stress-process poisson] [-stress-steps 8]
+//	pipebench -stress -stress-trace invocations.csv
+//	pipebench -grainsweep [-grain 1,8,64] [-grain-items 200000]
 //
 // -all fans the experiments across a bounded worker pool (default one
 // worker per CPU); every experiment seeds its own RNG streams, so the
@@ -32,12 +34,23 @@
 // (bench or experiments), the inputs of the benchmark protocol's
 // "profile before optimising" step (DESIGN.md).
 //
+// -bench also embeds a `batch` section: the batched boundary micro
+// against its unbatched and seed counterparts plus a grain sweep
+// (saturated items/s and paced p99 sojourn per batch size, ladder set
+// by -grain). -grainsweep runs the sweep standalone.
+//
 // -stress runs the RPS stress ramp (see DESIGN.md, "Traffic engine"):
 // offered load walks upward in steps, each step drives an open-loop
 // job stream through a fresh admission-controlled cluster, and the
 // detected throughput knee lands in the report's `stress` section.
 // It combines with -bench (one BENCH_*.json carrying both sections)
-// or runs alone (a stress-only report).
+// or runs alone (a stress-only report). -stress-trace replays a
+// recorded arrival trace instead of generating streams: a .csv file
+// goes through workload.TraceFromCSV (long t/app/items rows or wide
+// invitro/Azure-style per-bucket invocation counts, auto-detected),
+// anything else through workload.ReadTrace; each ramp step rescales
+// the recorded arrival times so the offered load matches while the
+// burst structure is preserved.
 package main
 
 import (
@@ -54,6 +67,7 @@ import (
 	"time"
 
 	"gridpipe/internal/bench"
+	"gridpipe/internal/workload"
 )
 
 func main() {
@@ -75,6 +89,10 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 
+		grainSweep = flag.Bool("grainsweep", false, "run the batch-grain sweep standalone (throughput + p99 latency vs grain)")
+		grainList  = flag.String("grain", "1,2,4,8,16,32,64,128,256", "grain ladder for the batch sweep (comma-separated; empty skips the sweep in -bench)")
+		grainItems = flag.Int("grain-items", 200000, "items per grain-sweep throughput measurement")
+
 		stressRun     = flag.Bool("stress", false, "run the RPS stress ramp (alone or combined with -bench)")
 		stressProc    = flag.String("stress-process", "poisson", "stress: arrival-process family (poisson, uniform, bursty, diurnal, pareto)")
 		stressApp     = flag.String("stress-app", "genome", "stress: bundled workload every job runs")
@@ -84,6 +102,7 @@ func main() {
 		stressStep    = flag.Float64("stress-step", 4, "stress: offered-load increment per step in items/s")
 		stressSteps   = flag.Int("stress-steps", 8, "stress: number of ramp steps")
 		stressHorizon = flag.Float64("stress-horizon", 240, "stress: arrival window per step in virtual seconds")
+		stressTrace   = flag.String("stress-trace", "", "stress: replay this recorded trace (.csv invocation trace or .jsonl) rescaled to each step's offered load instead of generating streams")
 	)
 	flag.Parse()
 
@@ -120,6 +139,16 @@ func main() {
 	switch {
 	case *list:
 		listExperiments(os.Stdout)
+	case *grainSweep:
+		grains, err := parseGrains(*grainList)
+		if err != nil || len(grains) == 0 {
+			fmt.Fprintf(os.Stderr, "pipebench: -grainsweep needs a grain ladder (-grain \"1,8,64\"): %v\n", err)
+			os.Exit(1)
+		}
+		if err := runGrainSweep(grains, *grainItems, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: grainsweep: %v\n", err)
+			os.Exit(1)
+		}
 	case *benchRun || *stressRun:
 		partsList, err := parseParts(*parts)
 		if err != nil {
@@ -143,8 +172,24 @@ func main() {
 				Horizon:     *stressHorizon,
 				Seed:        *seed,
 			}
+			if *stressTrace != "" {
+				tr, err := loadTrace(*stressTrace, *stressApp, *stressItems)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+					os.Exit(1)
+				}
+				stressCfg.Trace = tr
+				fmt.Printf("replaying %s: %d arrivals, %d items over %.4g s (native %.4g items/s)\n",
+					*stressTrace, len(tr), tr.TotalItems(), tr.Span(),
+					float64(tr.TotalItems())/tr.Span())
+			}
 		}
-		if err := runBench(*benchOut, *maxAlloc, *diffPath, *maxRegr, partsList, *benchRun, stressCfg); err != nil {
+		grains, err := parseGrains(*grainList)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runBench(*benchOut, *maxAlloc, *diffPath, *maxRegr, partsList, *benchRun, stressCfg, grains, *grainItems); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -217,6 +262,12 @@ type benchReport struct {
 	// bench-diff treats it as informational (the ramp is a
 	// virtual-time capacity measurement, not a wall-clock hot path).
 	Stress *bench.StressResult `json:"stress,omitempty"`
+	// Batch holds the granularity section: the batched-boundary micro
+	// against its unbatched and seed counterparts, plus the grain
+	// sweep (saturated items/s and paced p99 sojourn per batch size).
+	// Absent from snapshots predating batched boundaries; bench-diff
+	// treats it as informational (the micro rows are gated as usual).
+	Batch *batchSection `json:"batch,omitempty"`
 	// SeedBaseline records the seed commit's (e363cbf) hot-path
 	// numbers, measured with the pre-rewrite benchmarks on the same
 	// class of machine, so every BENCH file carries the comparison
@@ -232,6 +283,76 @@ var seedBaseline = []bench.MicroResult{
 	{Name: "engine/schedule_step", Desc: "seed container/heap calendar, per 64-event batch", NsPerOp: 64.92 * 64, BytesPerOp: 47 * 64, AllocsPerOp: 64},
 	{Name: "pipeline/reorder_stage", Desc: "seed goroutine-per-item + map reorderer, per item", NsPerOp: 5524, BytesPerOp: 440, AllocsPerOp: 6},
 	{Name: "exec/run_items", Desc: "seed executor, per simulated item", NsPerOp: 2663, BytesPerOp: 1456, AllocsPerOp: 37},
+}
+
+// batchSection is the `batch` block of a BENCH_*.json report: the
+// acceptance comparison (batched boundary vs the unbatched and seed
+// micros, items/s) and the grain sweep behind it.
+type batchSection struct {
+	// BoundaryItemsPerSec / UnbatchedItemsPerSec / SeedItemsPerSec are
+	// the items/s of pipeline/batch_boundary, pipeline/reorder_stage,
+	// and pipeline/seed_reorder_stage from this run's micro rows.
+	BoundaryItemsPerSec  float64 `json:"boundary_items_per_s"`
+	UnbatchedItemsPerSec float64 `json:"unbatched_items_per_s"`
+	SeedItemsPerSec      float64 `json:"seed_items_per_s"`
+	// SpeedupVsUnbatched and SpeedupVsSeed are the boundary ratios.
+	SpeedupVsUnbatched float64 `json:"speedup_vs_unbatched"`
+	SpeedupVsSeed      float64 `json:"speedup_vs_seed"`
+	// BoundaryAllocsPerOp restates the batched micro's allocs/op: the
+	// acceptance criterion requires 0 at steady state.
+	BoundaryAllocsPerOp int64 `json:"boundary_allocs_per_op"`
+	// Grains is the sweep: saturated throughput and paced p99 item
+	// sojourn per batch size.
+	Grains []bench.GrainPoint `json:"grains,omitempty"`
+}
+
+// parseGrains resolves the -grain flag into the sweep's grain ladder;
+// an empty flag means "skip the sweep".
+func parseGrains(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -grain entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runGrainSweep runs the sweep standalone and prints a table.
+func runGrainSweep(grains []int, items int, w io.Writer) error {
+	fmt.Fprintf(w, "grain sweep: %d items per point, linger %s\n", items, "1ms")
+	points, err := bench.GrainSweep(bench.GrainSweepConfig{Grains: grains, Items: items})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %14s %16s\n", "grain", "items/s", "p99 latency")
+	for _, p := range points {
+		fmt.Fprintf(w, "%8d %14.0f %16s\n", p.Grain, p.ItemsPerSec,
+			time.Duration(int64(p.P99LatencyNs)).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// loadTrace reads a recorded arrival trace for stress replay: .csv
+// files go through the invocation-trace importer (long or wide layout,
+// auto-detected; app/items fill rows that lack them), anything else is
+// parsed as the native JSON-lines format.
+func loadTrace(path, app string, items int) (workload.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		return workload.TraceFromCSV(f, workload.CSVTraceOptions{App: app, Items: items})
+	}
+	return workload.ReadTrace(f)
 }
 
 // parseParts resolves the -parts flag into the scaling sweep's
@@ -279,7 +400,7 @@ func partsMenu() string {
 // (micro true), the stress ramp (stress non-nil), or both, writes the
 // JSON report, and applies the allocation gate (maxAlloc < 0 disables
 // it) and the snapshot-regression gate (diffPath empty disables it).
-func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, partsList []int, micro bool, stress *bench.StressConfig) error {
+func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, partsList []int, micro bool, stress *bench.StressConfig, grains []int, grainItems int) error {
 	rep := benchReport{
 		Bench:        strings.TrimSuffix(filepath.Base(out), ".json"),
 		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
@@ -313,6 +434,39 @@ func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, par
 			fmt.Printf("parallel parts=%-3d procs=%-3d %10d events %12.0f events/s %6.2fx vs 1\n",
 				p.Parts, p.Procs, p.Events, p.EventsPerSec, p.SpeedupVs1)
 		}
+		sec := &batchSection{}
+		for _, m := range rep.Micro {
+			switch m.Name {
+			case "pipeline/batch_boundary":
+				sec.BoundaryItemsPerSec = m.ItemsPerSec
+				sec.BoundaryAllocsPerOp = m.AllocsPerOp
+			case "pipeline/reorder_stage":
+				sec.UnbatchedItemsPerSec = m.ItemsPerSec
+			case "pipeline/seed_reorder_stage":
+				sec.SeedItemsPerSec = m.ItemsPerSec
+			}
+		}
+		if sec.UnbatchedItemsPerSec > 0 {
+			sec.SpeedupVsUnbatched = sec.BoundaryItemsPerSec / sec.UnbatchedItemsPerSec
+		}
+		if sec.SeedItemsPerSec > 0 {
+			sec.SpeedupVsSeed = sec.BoundaryItemsPerSec / sec.SeedItemsPerSec
+		}
+		if len(grains) > 0 {
+			fmt.Println("running the batch-grain sweep...")
+			points, err := bench.GrainSweep(bench.GrainSweepConfig{Grains: grains, Items: grainItems})
+			if err != nil {
+				return err
+			}
+			sec.Grains = points
+			for _, p := range points {
+				fmt.Printf("grain %-4d %12.0f items/s  p99 %s\n", p.Grain, p.ItemsPerSec,
+					time.Duration(int64(p.P99LatencyNs)).Round(time.Microsecond))
+			}
+		}
+		rep.Batch = sec
+		fmt.Printf("batch boundary: %.0f items/s, %.2fx vs unbatched, %.2fx vs seed, %d allocs/op\n",
+			sec.BoundaryItemsPerSec, sec.SpeedupVsUnbatched, sec.SpeedupVsSeed, sec.BoundaryAllocsPerOp)
 	}
 	if stress != nil {
 		fmt.Println("running the RPS stress ramp...")

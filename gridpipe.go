@@ -167,6 +167,57 @@ type Pipeline struct {
 	live     *pipeline.Pipeline    // built lazily; single-use
 	liveCfg  *liveadapt.Config     // set by WithLiveAdaptive
 	liveCtrl *liveadapt.Controller // built when Run starts
+	batchN   int                   // WithBatch grain (0 off, GrainAuto walked)
+	batchOpt BatchOptions
+}
+
+// GrainAuto, passed to WithBatch, hands the batch size to the live
+// adaptive controller: the grain starts at 1 and is walked up and down
+// (doubling/halving under the controller's hysteresis and cooldown) to
+// whatever the observed throughput supports — the paper's granularity
+// adaptation as a second actuator next to replica counts. Requires
+// WithLiveAdaptive with a non-static policy.
+const GrainAuto = -1
+
+// BatchOptions tunes WithBatch beyond the grain itself.
+type BatchOptions struct {
+	// Linger bounds how long a partial batch may wait for more input
+	// at the pipeline head before being flushed anyway (default 1 ms),
+	// so trickle inputs keep bounded latency at any grain.
+	Linger time.Duration
+	// Max bounds the grain the auto mode may walk to (default 256).
+	Max int
+}
+
+// WithBatch makes batches of up to n items the unit crossing stage
+// boundaries in the live mode, amortizing the per-transfer channel and
+// scheduling overhead over n items. Ordered output is unchanged —
+// batching is invisible except in throughput and (up to Linger)
+// latency. Pass GrainAuto to let the live adaptive controller choose n
+// at run time. Must be called before Run/Process.
+func (p *Pipeline) WithBatch(n int, opts ...BatchOptions) error {
+	if n != GrainAuto && n < 1 {
+		return fmt.Errorf("gridpipe: WithBatch(%d): grain must be ≥ 1 or GrainAuto", n)
+	}
+	var o BatchOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Max < 0 {
+		return fmt.Errorf("gridpipe: WithBatch: negative Max %d", o.Max)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.live != nil {
+		return fmt.Errorf("gridpipe: WithBatch after the live pipeline started")
+	}
+	p.batchN = n
+	p.batchOpt = o
+	if n > 1 {
+		// Rate simulated/model predictions at the same grain.
+		p.spec.Grain = n
+	}
+	return nil
 }
 
 // New validates the stage definitions and builds a pipeline. Stage
@@ -319,6 +370,20 @@ func (p *Pipeline) buildLive() (*pipeline.Pipeline, error) {
 	lp, err := pipeline.NewGraph(stages, p.graph.Edges)
 	if err != nil {
 		return nil, err
+	}
+	if p.batchN != 0 {
+		grain := p.batchN
+		if grain == GrainAuto {
+			if p.liveCfg == nil || p.liveCfg.Policy == adaptive.PolicyStatic {
+				return nil, fmt.Errorf("gridpipe: WithBatch(GrainAuto) needs WithLiveAdaptive with a non-static policy")
+			}
+			grain = 1 // the controller walks it from here
+			p.liveCfg.AdaptGrain = true
+			p.liveCfg.MaxGrain = p.batchOpt.Max
+		}
+		if err := lp.EnableBatch(grain, p.batchOpt.Linger); err != nil {
+			return nil, err
+		}
 	}
 	p.live = lp
 	return lp, nil
@@ -515,6 +580,9 @@ type LiveAdaptiveReport struct {
 	// Replicas is the current per-stage worker vector (flattened
 	// declaration order).
 	Replicas []int
+	// Grain is the current boundary batch size (1 when batching is
+	// off; walked by the controller under WithBatch(GrainAuto)).
+	Grain int
 }
 
 // LiveAdaptiveReport returns the live controller's activity so far
@@ -533,6 +601,7 @@ func (p *Pipeline) LiveAdaptiveReport() LiveAdaptiveReport {
 		Searches: st.Searches,
 		Resizes:  st.Remaps,
 		Replicas: ctrl.Replicas(),
+		Grain:    ctrl.Grain(),
 	}
 	for _, ev := range st.Events {
 		rep.Events = append(rep.Events, LiveAdaptationEvent{

@@ -1,0 +1,144 @@
+package liveadapt
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"gridpipe/internal/adaptive"
+	"gridpipe/internal/pipeline"
+)
+
+func identityFn(_ context.Context, v any) (any, error) { return v, nil }
+
+// grainFake extends the scripted target with a grain surface whose
+// "observed" throughput is a function the test controls: rate(grain)
+// items per second, fed to the sensor via NoteCompletion-equivalent
+// counter bumps between ticks.
+type grainFake struct {
+	*fakeTarget
+	grain int
+}
+
+func (f *grainFake) Grain() int { return f.grain }
+func (f *grainFake) SetGrain(n int) error {
+	f.grain = n
+	return nil
+}
+
+// drive advances the walker through ticks spaced one cooldown apart,
+// crediting completions at rate(grain) between ticks.
+func drive(s *liveSub, f *grainFake, rate func(grain int) float64, from, ticks int) float64 {
+	cool := s.cfg.Cooldown.Seconds()
+	now := float64(from) * cool
+	for i := 0; i < ticks; i++ {
+		now += cool
+		s.done.Add(int64(rate(f.grain) * cool))
+		s.Sample(now)
+	}
+	return now
+}
+
+func TestGrainWalkClimbsUnderFixedOverhead(t *testing.T) {
+	f := &grainFake{fakeTarget: newFake(1), grain: 1}
+	s := subFor(t, f, nil, Config{
+		Policy:     adaptive.PolicyPeriodic,
+		Interval:   time.Second,
+		Cooldown:   2 * time.Second,
+		AdaptGrain: true,
+		MaxGrain:   64,
+	})
+	if s.grain == nil {
+		t.Fatal("AdaptGrain should arm the walker")
+	}
+	// Amortized-overhead throughput curve: work 1 ms/item, fixed
+	// 9 ms/batch → rate(g) = 1000/(1 + 9/g) items/s, monotone in g.
+	rate := func(g int) float64 { return 1000 / (1 + 9/float64(g)) }
+	drive(s, f, rate, 1, 40)
+	if f.grain < 32 {
+		t.Fatalf("walker stopped at grain %d; monotone curve should reach the high rungs", f.grain)
+	}
+}
+
+func TestGrainWalkRevertsHarmfulStep(t *testing.T) {
+	f := &grainFake{fakeTarget: newFake(1), grain: 1}
+	s := subFor(t, f, nil, Config{
+		Policy:     adaptive.PolicyPeriodic,
+		Interval:   time.Second,
+		Cooldown:   2 * time.Second,
+		AdaptGrain: true,
+		MaxGrain:   256,
+	})
+	// Peaked curve: best at grain 8, collapsing beyond it.
+	rate := func(g int) float64 {
+		if g <= 8 {
+			return 1000 / (1 + 7/float64(g))
+		}
+		return 200
+	}
+	drive(s, f, rate, 1, 40)
+	if f.grain != 8 {
+		t.Fatalf("walker settled at grain %d, want the peak 8", f.grain)
+	}
+	if !s.grain.settled {
+		t.Fatal("walker should settle after reverting a harmful step")
+	}
+}
+
+func TestGrainWalkReArmsOnDegradation(t *testing.T) {
+	f := &grainFake{fakeTarget: newFake(1), grain: 1}
+	s := subFor(t, f, nil, Config{
+		Policy:     adaptive.PolicyPeriodic,
+		Interval:   time.Second,
+		Cooldown:   2 * time.Second,
+		AdaptGrain: true,
+		MaxGrain:   16,
+	})
+	rate := func(g int) float64 { return 1000 / (1 + 9/float64(g)) }
+	drive(s, f, rate, 1, 30)
+	if !s.grain.settled || f.grain != 16 {
+		t.Fatalf("expected settled walk at the rail, got settled=%v grain=%d", s.grain.settled, f.grain)
+	}
+	// The workload shifts: throughput collapses below the settled
+	// record and the optimum moves to per-item transfer. The walk must
+	// re-arm and descend to the new optimum.
+	shifted := func(g int) float64 { return 400 / (1 + 0.2*float64(g)) }
+	drive(s, f, shifted, 31, 30)
+	if f.grain > 2 {
+		t.Fatalf("after the shift the walk sits at grain %d, want near 1", f.grain)
+	}
+}
+
+func TestAdaptGrainConstructionChecks(t *testing.T) {
+	// A plain fake has no grain surface.
+	if _, err := newController(newFake(1), nil, Config{Policy: adaptive.PolicyPeriodic, AdaptGrain: true}); err == nil {
+		t.Fatal("AdaptGrain over a grainless target should fail")
+	}
+	// An unbatched pipeline rejects SetGrain → construction error.
+	p, err := pipeline.New(pipeline.Stage{Name: "s", Fn: pipeline.Func(identityFn), Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ForPipeline(p, nil, Config{Policy: adaptive.PolicyPeriodic, AdaptGrain: true}); err == nil {
+		t.Fatal("AdaptGrain over an unbatched pipeline should fail")
+	}
+	// A batched pipeline arms it.
+	p2, err := pipeline.New(pipeline.Stage{Name: "s", Fn: pipeline.Func(identityFn), Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.EnableBatch(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := ForPipeline(p2, nil, Config{Policy: adaptive.PolicyPeriodic, AdaptGrain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Grain() != 4 {
+		t.Fatalf("Grain() = %d, want 4", ctrl.Grain())
+	}
+	if math.IsNaN(float64(ctrl.sub.grain.margin)) || ctrl.sub.grain.margin <= 1 {
+		t.Fatalf("walker margin %v should exceed 1", ctrl.sub.grain.margin)
+	}
+}

@@ -116,6 +116,16 @@ type Config struct {
 	// (conc.WorkerBudget) re-divided among concurrent runs takes
 	// effect at the controller's next tick.
 	BudgetCap func() int
+	// AdaptGrain enables the granularity actuator: the controller
+	// walks the target's boundary batch size (pipeline grain / farm
+	// batch) in doubling and halving steps paced by Cooldown, keeping
+	// a step whose observed throughput clears the hysteresis margin
+	// and reverting one that costs it (see grainWalk). Requires a
+	// target whose grain is actuable — a pipeline with EnableBatch or
+	// a farm. PolicyStatic never ticks, so grain stays fixed under it.
+	AdaptGrain bool
+	// MaxGrain bounds the walked batch size (default 256).
+	MaxGrain int
 }
 
 func (c *Config) fillDefaults() {
@@ -127,6 +137,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxGrain <= 0 {
+		c.MaxGrain = 256
 	}
 }
 
@@ -209,6 +222,35 @@ func newController(target Target, info []StageInfo, cfg Config) (*Controller, er
 		sub.ests[i] = monitor.NewEstimator(nil)
 		sub.base[i] = math.NaN()
 	}
+	if cfg.AdaptGrain {
+		gt, ok := target.(GrainTarget)
+		if !ok {
+			return nil, fmt.Errorf("liveadapt: AdaptGrain target exposes no grain surface")
+		}
+		// Probe actuability now: an unbatched pipeline rejects SetGrain,
+		// and failing at construction beats panicking mid-run.
+		if err := gt.SetGrain(gt.Grain()); err != nil {
+			return nil, fmt.Errorf("liveadapt: AdaptGrain: %w (enable batching first)", err)
+		}
+		hg := cfg.HysteresisGain
+		if hg <= 1 {
+			hg = 1.15 // the shared trigger default (adaptive.Config)
+		}
+		df := cfg.DegradationFactor
+		if df <= 0 || df >= 1 {
+			df = 0.7
+		}
+		sub.grain = &grainWalk{
+			target: gt,
+			max:    cfg.MaxGrain,
+			// Accepting a grain step is cheaper than a remapping, so
+			// the walk demands a quarter of the resize margin.
+			margin:  1 + (hg-1)/4,
+			degrade: df,
+			dir:     1,
+			rate:    math.NaN(),
+		}
+	}
 	core, err := adaptive.New(sub, sub, &wallClock{epoch: sub.epoch}, adaptive.Config{
 		Policy:             cfg.Policy,
 		Interval:           cfg.Interval.Seconds(),
@@ -228,6 +270,15 @@ func newController(target Target, info []StageInfo, cfg Config) (*Controller, er
 // their output stream with it so the degradation trigger has an
 // observed exit rate. Safe for concurrent use.
 func (c *Controller) NoteCompletion() { c.sub.done.Add(1) }
+
+// Grain returns the target's current boundary batch size, or 1 when
+// the target has no grain surface.
+func (c *Controller) Grain() int {
+	if gt, ok := c.sub.target.(GrainTarget); ok {
+		return gt.Grain()
+	}
+	return 1
+}
 
 // Replicas returns the current worker-count vector.
 func (c *Controller) Replicas() Replicas {
@@ -262,6 +313,8 @@ type liveSub struct {
 
 	done    atomic.Int64 // completions (fed by NoteCompletion)
 	samples []rateSample // pruned completion-rate history
+
+	grain *grainWalk // granularity actuator (nil unless AdaptGrain)
 }
 
 // Sample diffs each stage's meter totals into this window's mean
@@ -292,6 +345,7 @@ func (s *liveSub) Sample(now float64) {
 	if cut > 0 {
 		s.samples = append(s.samples[:0], s.samples[cut:]...)
 	}
+	s.grain.step(s, now)
 }
 
 // Loads returns the per-stage service-time estimates (seconds/item)

@@ -62,6 +62,11 @@ func Micros() []Micro {
 			Run:  benchPipelineReorderStage,
 		},
 		{
+			Name: "pipeline/batch_boundary",
+			Desc: "batched replicated-stage boundary: 64-item pooled slabs through persistent workers + per-batch ring reorderer, per item",
+			Run:  benchPipelineBatchBoundary,
+		},
+		{
 			Name: "pipeline/seed_reorder_stage",
 			Desc: "reference: the seed's stage boundary (goroutine per item + map[int]any reorderer)",
 			Run:  benchSeedReorderStage,
@@ -207,6 +212,18 @@ func benchPipelineReorderStage(b *testing.B) {
 	ident := func(ctx context.Context, v any) (any, error) { return v, nil }
 	p, err := pipeline.New(pipeline.Stage{Name: "r", Fn: ident, Replicas: 8, Buffer: 64})
 	if err != nil {
+		b.Fatal(err)
+	}
+	stageItems(b, p.Run)
+}
+
+func benchPipelineBatchBoundary(b *testing.B) {
+	ident := func(ctx context.Context, v any) (any, error) { return v, nil }
+	p, err := pipeline.New(pipeline.Stage{Name: "r", Fn: ident, Replicas: 8, Buffer: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.EnableBatch(64, 0); err != nil {
 		b.Fatal(err)
 	}
 	stageItems(b, p.Run)

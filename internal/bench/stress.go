@@ -45,6 +45,12 @@ type StressConfig struct {
 	KneeFrac   float64
 	// Seed drives every step's derived randomness.
 	Seed uint64
+	// Trace, when non-empty, replaces the generated per-step streams:
+	// each step replays this recorded trace with arrival times rescaled
+	// so its offered load matches the step's, preserving the recorded
+	// burst structure (see workload.TraceFromCSV and Trace.ScaleTime).
+	// Process, ItemsPerJob, and Horizon are ignored in replay mode.
+	Trace workload.Trace
 }
 
 func (c *StressConfig) fillDefaults() {
@@ -124,6 +130,17 @@ func StressRamp(cfg StressConfig) (*StressResult, error) {
 	if _, err := workload.ByName(cfg.App); err != nil {
 		return nil, err
 	}
+	replay := len(cfg.Trace) > 0
+	var nativeRPS float64
+	if replay {
+		span, items := cfg.Trace.Span(), cfg.Trace.TotalItems()
+		if span <= 0 {
+			return nil, fmt.Errorf("bench: stress replay trace has zero span")
+		}
+		nativeRPS = float64(items) / span
+		cfg.Process = "trace-replay"
+		cfg.Horizon = span
+	}
 	res := &StressResult{
 		Nodes:       cfg.Nodes,
 		App:         cfg.App,
@@ -137,12 +154,20 @@ func StressRamp(cfg StressConfig) (*StressResult, error) {
 	for i := 0; i < cfg.Steps; i++ {
 		offered := cfg.StartRPS + float64(i)*cfg.StepRPS
 		stepSeed := rng.SeedFor(cfg.Seed, uint64(i))
-		// Offered items/s → job arrivals/s at ItemsPerJob items each.
-		proc, err := workload.NewArrival(cfg.Process, offered/float64(cfg.ItemsPerJob), stepSeed)
-		if err != nil {
-			return nil, err
+		var tr workload.Trace
+		var err error
+		if replay {
+			// Stretch or compress the recorded stream until its offered
+			// rate matches this step's; burst structure is preserved.
+			tr, err = cfg.Trace.ScaleTime(nativeRPS / offered)
+		} else {
+			// Offered items/s → job arrivals/s at ItemsPerJob items each.
+			var proc workload.ArrivalProcess
+			proc, err = workload.NewArrival(cfg.Process, offered/float64(cfg.ItemsPerJob), stepSeed)
+			if err == nil {
+				tr, err = workload.GenerateTrace(proc, mix, cfg.Horizon, stepSeed)
+			}
 		}
-		tr, err := workload.GenerateTrace(proc, mix, cfg.Horizon, stepSeed)
 		if err != nil {
 			return nil, err
 		}

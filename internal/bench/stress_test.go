@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"gridpipe/internal/workload"
 )
 
 // smallRamp keeps stress tests fast: a short ramp over a small grid
@@ -89,6 +91,55 @@ func TestStressRampValidation(t *testing.T) {
 	cfg.Process = "bogus"
 	if _, err := StressRamp(cfg); err == nil {
 		t.Error("unknown arrival process accepted")
+	}
+}
+
+func TestStressRampTraceReplay(t *testing.T) {
+	// A recorded bursty trace: 12 jobs of 10 items over 40 s, native
+	// load 3 items/s. Each step must replay exactly these jobs with
+	// arrival times rescaled to the step's offered rate.
+	var tr workload.Trace
+	for i := 0; i < 12; i++ {
+		// Three bursts of four back-to-back jobs.
+		tr = append(tr, workload.TraceEvent{
+			T:     float64(i/4)*18 + float64(i%4),
+			App:   "genome",
+			Items: 10,
+		})
+	}
+	cfg := smallRamp()
+	cfg.Trace = tr
+	res, err := StressRamp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Process != "trace-replay" {
+		t.Errorf("process %q, want trace-replay", res.Process)
+	}
+	if len(res.Steps) != cfg.Steps {
+		t.Fatalf("got %d steps", len(res.Steps))
+	}
+	for i, s := range res.Steps {
+		if s.Jobs != len(tr) || s.Items != tr.TotalItems() {
+			t.Errorf("step %d replayed jobs=%d items=%d, want %d/%d",
+				i, s.Jobs, s.Items, len(tr), tr.TotalItems())
+		}
+		if s.AchievedRPS <= 0 || s.MakespanSec <= 0 {
+			t.Errorf("step %d achieved=%v makespan=%v", i, s.AchievedRPS, s.MakespanSec)
+		}
+	}
+	// Replay is deterministic: no generation randomness at all.
+	again, err := StressRamp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Fatal("trace replay is not deterministic")
+	}
+
+	cfg.Trace = workload.Trace{{T: 0, App: "genome", Items: 5}}
+	if _, err := StressRamp(cfg); err == nil {
+		t.Error("zero-span trace accepted")
 	}
 }
 

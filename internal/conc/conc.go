@@ -153,6 +153,28 @@ func (m *Meter) Record(d time.Duration) {
 	}
 }
 
+// RecordN adds n samples that completed together in total time d — the
+// batched boundary's one-call-per-batch counterpart of Record. The
+// count grows by n and the sum by d, so per-item means diffed from
+// Totals stay correct at any grain; the max is compared against the
+// batch's per-item mean, because the batch path cannot see individual
+// item times and charging the whole batch duration as one sample's max
+// would make larger grains look pathologically slow.
+func (m *Meter) RecordN(n int64, d time.Duration) {
+	if n <= 0 {
+		return
+	}
+	m.count.Add(n)
+	m.sumNs.Add(int64(d))
+	per := int64(d) / n
+	for {
+		cur := m.maxNs.Load()
+		if per <= cur || m.maxNs.CompareAndSwap(cur, per) {
+			return
+		}
+	}
+}
+
 // Totals returns the cumulative sample count and summed service time.
 // Samplers that want windowed means (the live adaptive sensor) diff
 // two Totals readings instead of re-deriving them from the lossy

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridpipe/internal/conc"
@@ -31,6 +32,13 @@ import (
 // invocation.
 type Func func(ctx context.Context, v any) (any, error)
 
+// taskSlab is a pooled batch of tasks in flight to a worker. It is a
+// distinct unexported pointer type so the worker can tell slabs from
+// single tasks in the shared any-typed pool channel: user code cannot
+// construct a value of this type, so the assertion never misfires on
+// a task that happens to be a *[]any.
+type taskSlab *[]any
+
 // Options tune a Farm.
 type Options struct {
 	// Workers is the initial worker limit (default 1).
@@ -40,6 +48,15 @@ type Options struct {
 	// Unordered delivers results as they complete instead of in input
 	// order. Ordered delivery (the default) matches Pipeline1for1.
 	Unordered bool
+	// Batch is the number of tasks crossing the farm's dispatch
+	// boundary together (default 1 = per-task). Larger batches
+	// amortise the limiter and channel synchronisation over Batch
+	// tasks; SetBatch adjusts it while running.
+	Batch int
+	// Linger bounds how long a partial batch may wait for more input
+	// before being dispatched anyway (default pipeline.DefaultLinger;
+	// only meaningful with Batch > 1).
+	Linger time.Duration
 }
 
 // Stats is a snapshot of the farm's counters.
@@ -61,6 +78,7 @@ type Farm struct {
 	pl    *pipeline.Pipeline // ordered mode delegates to a 1-stage pipeline
 	meter conc.Meter         // unordered-mode service times
 	limit *conc.Limiter
+	batch atomic.Int64 // current dispatch batch size (unordered mode)
 }
 
 // New validates and builds a farm.
@@ -74,7 +92,18 @@ func New(fn Func, opts Options) (*Farm, error) {
 	if opts.Buffer <= 0 {
 		opts.Buffer = opts.Workers
 	}
-	return &Farm{fn: fn, opts: opts}, nil
+	if opts.Batch < 0 {
+		return nil, fmt.Errorf("farm: negative batch %d", opts.Batch)
+	}
+	if opts.Batch == 0 {
+		opts.Batch = 1
+	}
+	if opts.Linger <= 0 {
+		opts.Linger = pipeline.DefaultLinger
+	}
+	f := &Farm{fn: fn, opts: opts}
+	f.batch.Store(int64(opts.Batch))
+	return f, nil
 }
 
 // Run starts the farm over the input stream. Semantics mirror
@@ -100,6 +129,11 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 			// New validated everything that pipeline.New checks.
 			panic(fmt.Sprintf("farm: internal construction error: %v", err))
 		}
+		if f.opts.Batch > 1 {
+			if err := pl.EnableBatch(f.opts.Batch, f.opts.Linger); err != nil {
+				panic(fmt.Sprintf("farm: internal construction error: %v", err))
+			}
+		}
 		f.pl = pl
 		f.mu.Unlock()
 		return pl.Run(ctx, inputs)
@@ -111,6 +145,7 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 	// (the limiter, not the pool buffer, bounds concurrency anyway).
 	f.limit = conc.NewLimiter(f.opts.Workers)
 	outBuf, poolBuf := f.opts.Buffer, 2*f.opts.Workers
+	linger := f.opts.Linger
 	f.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -126,18 +161,56 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 			cancel()
 		})
 	}
-	pool := conc.NewPool(f.limit, poolBuf, func(v any) {
+	// Tasks cross the dispatch boundary either singly (batch 1, the
+	// default — no slab machinery on the per-task fast path) or in
+	// pooled slabs of up to the current batch size (SetBatch adjusts
+	// it live), flushed early when the oldest queued task has
+	// lingered. A worker pays the limiter and channel hop once per
+	// submission and records its service in one RecordN. Slabs travel
+	// as the unexported pointer type taskSlab, which no user task can
+	// alias, so the worker's type switch is unambiguous.
+	var slabs sync.Pool
+	recycle := func(slab taskSlab) {
+		clear(*slab)
+		*slab = (*slab)[:0]
+		slabs.Put(slab)
+	}
+	pool := conc.NewPool(f.limit, poolBuf, func(x any) {
 		t0 := time.Now()
-		r, err := f.fn(ctx, v)
-		f.meter.Record(time.Since(t0))
-		if err != nil {
-			fail(fmt.Errorf("farm: %w", err))
+		slab, ok := x.(taskSlab)
+		if !ok {
+			r, err := f.fn(ctx, x)
+			f.meter.RecordN(1, time.Since(t0))
+			if err != nil {
+				fail(fmt.Errorf("farm: %w", err))
+				return
+			}
+			select {
+			case out <- r:
+			case <-ctx.Done():
+			}
 			return
 		}
-		select {
-		case out <- r:
-		case <-ctx.Done():
+		done := 0
+		for _, v := range *slab {
+			r, err := f.fn(ctx, v)
+			done++
+			if err != nil {
+				f.meter.RecordN(int64(done), time.Since(t0))
+				fail(fmt.Errorf("farm: %w", err))
+				recycle(slab)
+				return
+			}
+			select {
+			case out <- r:
+			case <-ctx.Done():
+				f.meter.RecordN(int64(done), time.Since(t0))
+				recycle(slab)
+				return
+			}
 		}
+		f.meter.RecordN(int64(done), time.Since(t0))
+		recycle(slab)
 	})
 	go func() {
 		defer func() {
@@ -152,18 +225,64 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 			close(out)
 			cancel()
 		}()
+		var cur taskSlab
+		timer := time.NewTimer(time.Hour)
+		timer.Stop()
+		defer timer.Stop()
+		var timerC <-chan time.Time
+		flush := func() {
+			pool.Submit(cur)
+			cur = nil
+			timerC = nil
+		}
 		for {
-			var v any
-			var ok bool
-			select {
-			case v, ok = <-inputs:
-			case <-ctx.Done():
-				ok = false
+			// No slab open: the common state, and the whole loop at
+			// batch 1. A two-case select (no timer arm) keeps the
+			// per-task fast path as cheap as an unbatched dispatcher.
+			if cur == nil {
+				select {
+				case v, ok := <-inputs:
+					if !ok {
+						return
+					}
+					batch := int(f.batch.Load())
+					if batch <= 1 {
+						pool.Submit(v)
+						continue
+					}
+					if p, _ := slabs.Get().(taskSlab); p != nil {
+						cur = p
+					} else {
+						cur = taskSlab(new([]any))
+						*cur = make([]any, 0, 8)
+					}
+					*cur = append(*cur, v)
+					// The linger clock anchors to the slab's oldest
+					// task, which just arrived (batch > 1 here, so the
+					// slab cannot already be full).
+					timer.Reset(linger)
+					timerC = timer.C
+				case <-ctx.Done():
+					return
+				}
+				continue
 			}
-			if !ok {
+			select {
+			case v, ok := <-inputs:
+				if !ok {
+					flush()
+					return
+				}
+				*cur = append(*cur, v)
+				if len(*cur) >= int(f.batch.Load()) {
+					timer.Stop()
+					flush()
+				}
+			case <-timerC:
+				flush()
+			case <-ctx.Done():
 				return
 			}
-			pool.Submit(v)
 		}
 	}()
 	return out, errs
@@ -195,6 +314,35 @@ func (f *Farm) Process(ctx context.Context, inputs []any) ([]any, error) {
 		return nil, fmt.Errorf("farm: %d outputs for %d inputs", len(results), len(inputs))
 	}
 	return results, nil
+}
+
+// SetBatch changes the dispatch batch size (minimum 1); callable while
+// running — the grain counterpart of SetWorkers, used by the live
+// adaptive controller's granularity actuator. In ordered mode it
+// requires the farm to have been built with Batch > 1 (the batched
+// wiring is chosen at Run).
+func (f *Farm) SetBatch(n int) error {
+	if n < 1 {
+		return fmt.Errorf("farm: SetBatch(%d) below 1", n)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.opts.Batch = n
+	if f.pl != nil {
+		return f.pl.SetGrain(n)
+	}
+	f.batch.Store(int64(n))
+	return nil
+}
+
+// Batch returns the current dispatch batch size.
+func (f *Farm) Batch() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.pl != nil {
+		return f.pl.Grain()
+	}
+	return int(f.batch.Load())
 }
 
 // SetWorkers resizes the pool (minimum 1); callable while running.

@@ -1,0 +1,115 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"gridpipe/internal/grid"
+)
+
+// A zero-valued batch spec (Grain 0/1, BatchOverhead 0) must take the
+// legacy arithmetic paths exactly: same throughput, busy vector, link
+// bound, and latency bit for bit.
+func TestPredictUnbatchedBitIdentical(t *testing.T) {
+	g := testGrid(t, 1, 0.5, 2)
+	spec := Balanced(3, 0.1, 4096)
+	base, err := Predict(g, spec, OneToOne(3), []float64{0.2, 0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grain := range []int{0, 1} {
+		got, err := Predict(g, spec.AtGrain(grain), OneToOne(3), []float64{0.2, 0, 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Throughput != base.Throughput || got.LinkBound != base.LinkBound ||
+			got.Latency != base.Latency || got.BottleneckNode != base.BottleneckNode {
+			t.Fatalf("grain %d: prediction diverged from legacy: %+v vs %+v", grain, got, base)
+		}
+		for n := range got.NodeBusy {
+			if got.NodeBusy[n] != base.NodeBusy[n] {
+				t.Fatalf("grain %d: busy[%d] = %v, want %v", grain, n, got.NodeBusy[n], base.NodeBusy[n])
+			}
+		}
+	}
+}
+
+// Per-batch overhead h charged as h/grain per item: larger grains
+// amortize it away and throughput approaches the overhead-free rate.
+func TestPredictGrainAmortizesOverhead(t *testing.T) {
+	g := testGrid(t, 1, 1, 1)
+	spec := Balanced(3, 0.01, 0)
+	spec.BatchOverhead = 0.09 // 9× the per-item work
+
+	// Grain 1 with overhead live: each item pays work + h = 0.1 s.
+	spec1 := spec.AtGrain(1)
+	p1, err := Predict(g, spec1, OneToOne(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1.Throughput-10) > 1e-9 {
+		t.Fatalf("grain-1 throughput = %v, want 10", p1.Throughput)
+	}
+	// Grain 9: work + h/9 = 0.02 s per item → 50 items/s.
+	p9, err := Predict(g, spec.AtGrain(9), OneToOne(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p9.Throughput-50) > 1e-9 {
+		t.Fatalf("grain-9 throughput = %v, want 50", p9.Throughput)
+	}
+	// Monotone towards (but never past) the overhead-free bound.
+	if !(p9.Throughput > p1.Throughput) {
+		t.Fatal("larger grain should raise throughput under fixed overhead")
+	}
+	// Never past the overhead-free ceiling.
+	spec.BatchOverhead = 0
+	free, err := Predict(g, spec, OneToOne(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p9.Throughput >= free.Throughput {
+		t.Fatalf("amortized rate %v should stay below overhead-free %v", p9.Throughput, free.Throughput)
+	}
+}
+
+// Batched link transfers pay the link latency once per batch: at grain
+// g the per-item link charge is bytes/bw + Latency/g.
+func TestPredictBatchLinkLatency(t *testing.T) {
+	link := grid.Link{Latency: 1e-3, Bandwidth: 1e9}
+	g, err := grid.Homogeneous(2, 1, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Balanced(2, 1e-6, 1000) // 1000 B per hop, near-zero work
+	spec.Grain = 10
+	p, err := Predict(g, spec, OneToOne(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLink := 1 / (1000/1e9 + 1e-3/10)
+	if math.Abs(p.LinkBound-wantLink)/wantLink > 1e-9 {
+		t.Fatalf("link bound = %v, want %v", p.LinkBound, wantLink)
+	}
+	// Raising the grain weakens the latency term and raises the bound.
+	p2, err := Predict(g, spec.AtGrain(100), OneToOne(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(p2.LinkBound > p.LinkBound) {
+		t.Fatalf("grain 100 bound %v should beat grain 10 bound %v", p2.LinkBound, p.LinkBound)
+	}
+}
+
+func TestSpecBatchValidation(t *testing.T) {
+	spec := Balanced(2, 0.1, 0)
+	spec.BatchOverhead = -1
+	if err := spec.Validate(); err == nil {
+		t.Fatal("negative batch overhead should fail validation")
+	}
+	spec.BatchOverhead = 0
+	spec.Grain = -2
+	if err := spec.Validate(); err == nil {
+		t.Fatal("negative grain should fail validation")
+	}
+}

@@ -41,6 +41,42 @@ type PipelineSpec struct {
 	// Topo, when non-nil, is the stage graph the data flows along. Nil
 	// means the historical linear chain over Stages.
 	Topo *topo.Graph
+	// BatchOverhead is the fixed per-batch cost h at every stage
+	// boundary in reference-seconds: the channel/limiter/reorderer
+	// synchronization a batch pays once regardless of how many items
+	// it carries. Amortized as h/Grain per item. Zero (the default)
+	// models a free boundary, which keeps legacy predictions
+	// bit-identical.
+	BatchOverhead float64
+	// Grain is the number of items crossing each boundary together.
+	// 0 and 1 both mean the historical per-item transfer. Larger
+	// grains divide BatchOverhead and per-transfer link latency across
+	// Grain items.
+	Grain int
+}
+
+// EffGrain returns the batch size the model charges: Grain, floored
+// at 1 so a zero-valued spec behaves per-item.
+func (p PipelineSpec) EffGrain() float64 {
+	if p.Grain < 1 {
+		return 1
+	}
+	return float64(p.Grain)
+}
+
+// Batched reports whether the batch-aware cost terms are live: any
+// spec with a grain above 1 or a nonzero per-batch overhead. An
+// unbatched spec takes the legacy arithmetic paths exactly, so its
+// predictions stay bit-identical to earlier releases.
+func (p PipelineSpec) Batched() bool {
+	return p.Grain > 1 || p.BatchOverhead > 0
+}
+
+// AtGrain returns a copy of the spec evaluated at batch size n — the
+// grain axis of the scheduler's search (see sched.SearchGrain).
+func (p PipelineSpec) AtGrain(n int) PipelineSpec {
+	p.Grain = n
+	return p
 }
 
 // FromGraph builds a spec whose Stages mirror the graph's nodes and
@@ -110,6 +146,12 @@ func (p PipelineSpec) Validate() error {
 	}
 	if p.InBytes < 0 {
 		return fmt.Errorf("model: negative input size %v", p.InBytes)
+	}
+	if p.BatchOverhead < 0 {
+		return fmt.Errorf("model: negative batch overhead %v", p.BatchOverhead)
+	}
+	if p.Grain < 0 {
+		return fmt.Errorf("model: negative grain %d", p.Grain)
 	}
 	if p.Topo != nil {
 		if err := p.Topo.Validate(); err != nil {

@@ -89,15 +89,25 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 		s = NewPredictScratch()
 	}
 
-	// Per-node busy seconds per item.
+	// Per-node busy seconds per item. At grain gr, every batch pays
+	// the fixed boundary overhead h once, so each item carries h/gr of
+	// it on top of its own work — the paper's amortized-overhead term.
+	// The unbatched case keeps the legacy expression verbatim so its
+	// predictions stay bit-identical.
+	batched := spec.Batched()
+	gr := spec.EffGrain()
 	busy := s.busyFor(g.NumNodes())
 	for i, st := range spec.Stages {
 		replicas := m.Assign[i]
 		share := 1 / float64(len(replicas))
+		work := st.Work
+		if batched {
+			work += spec.BatchOverhead / gr
+		}
 		for _, n := range replicas {
 			node := g.Node(n)
 			eff := node.Speed * (1 - loadOf(n))
-			busy[n] += share * st.Work / eff
+			busy[n] += share * work / eff
 		}
 	}
 
@@ -155,10 +165,22 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 			bottleneck = grid.NodeID(n)
 		}
 	}
+	// Link bounds. Unbatched, a link saturates at bandwidth/bytes
+	// (latency pipelines away). Batched, each transfer is one message
+	// per gr items, so every item also carries Latency/gr of the
+	// per-message link latency — small batches on a high-latency link
+	// are charged for it, which is exactly the amortization the grain
+	// search trades against batching delay.
 	linkBound := math.Inf(1)
 	for _, f := range s.flows {
-		bw := g.Link(f.a, f.b).Bandwidth
-		if bound := bw / f.bytes; bound < linkBound {
+		lk := g.Link(f.a, f.b)
+		var bound float64
+		if batched {
+			bound = 1 / (f.bytes/lk.Bandwidth + lk.Latency/gr)
+		} else {
+			bound = lk.Bandwidth / f.bytes
+		}
+		if bound < linkBound {
 			linkBound = bound
 		}
 	}
@@ -185,7 +207,11 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 				lat += g.Link(prev, n).TransferDuration(prevBytes, 0)
 			}
 			node := g.Node(n)
-			lat += st.Work / (node.Speed * (1 - loadOf(n)))
+			work := st.Work
+			if batched {
+				work += spec.BatchOverhead / gr
+			}
+			lat += work / (node.Speed * (1 - loadOf(n)))
 			prev, prevBytes = n, st.OutBytes
 		}
 		if prev != spec.Sink {
@@ -215,7 +241,11 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 				}
 			}
 			node := g.Node(n)
-			ready[i] = t + st.Work/(node.Speed*(1-loadOf(n)))
+			work := st.Work
+			if batched {
+				work += spec.BatchOverhead / gr
+			}
+			ready[i] = t + work/(node.Speed*(1-loadOf(n)))
 		}
 		lat = ready[exit]
 		if last := m.Assign[exit][0]; last != spec.Sink {

@@ -1,0 +1,458 @@
+// Batched stage boundaries: the granularity-adaptation half of the
+// live runtime (the paper's central knob, applied to goroutines and
+// channels instead of grid transfers).
+//
+// With batching enabled (EnableBatch), the unit that crosses every
+// stage boundary is a *batch — a pooled slab of consecutively-
+// sequenced items — instead of one seqItem per item. Every boundary
+// cost that the per-item path pays per item (channel send/receive,
+// limiter acquire/release, reorder-ring bookkeeping, worker wake-up)
+// is then paid once per batch and amortised over its items, which is
+// exactly the fixed-overhead amortisation argument the cost model's
+// BatchOverhead term captures (internal/model).
+//
+// Invariants:
+//
+//   - batches are formed exactly once, at the head; every stage maps
+//     one input batch to one output batch of the same index, first
+//     sequence number, and length, so batch boundaries stay aligned
+//     along every path of the stage graph and a fan-in zips its
+//     in-streams batch-by-batch;
+//   - the head flushes a batch when it reaches the current grain
+//     (SetGrain, readable while running — the adaptive controller's
+//     second actuator dimension) or when the oldest item in it has
+//     lingered for the linger timeout, so a trickle input keeps
+//     bounded latency: downstream boundaries never hold a batch, which
+//     makes the head's linger the only batching wait anywhere;
+//   - slabs are reference-counted (a broadcast shares one batch among
+//     all out-edges) and recycled through a sync.Pool, so the steady-
+//     state boundary performs no per-item and no per-batch heap
+//     allocation;
+//   - ordered output is byte-identical to the per-item path: stages
+//     process a batch's items in sequence order and batches are
+//     restored to index order at every boundary, so Run/Process emit
+//     the same values in the same order for every grain and linger.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridpipe/internal/conc"
+	"gridpipe/internal/ring"
+)
+
+// DefaultLinger bounds how long a partial batch may wait at the head
+// for more input before it is flushed anyway.
+const DefaultLinger = time.Millisecond
+
+// batch is a pooled slab of consecutively-sequenced items crossing a
+// stage boundary together. seq is the sequence number of items[0];
+// idx counts batches 0,1,2,… in head order (the reorder key). refs is
+// the number of consumers still holding the slab — a broadcast hands
+// the same batch to every out-edge.
+type batch struct {
+	idx   int
+	seq   int
+	items []any
+	refs  int32
+}
+
+// newBatch takes a slab from the pool (or allocates the first time a
+// fresh high-water mark is reached) and resets it for one consumer.
+func (p *Pipeline) newBatch(idx, seq int) *batch {
+	b, _ := p.slabs.Get().(*batch)
+	if b == nil {
+		b = &batch{}
+	}
+	b.idx, b.seq = idx, seq
+	b.items = b.items[:0]
+	atomic.StoreInt32(&b.refs, 1)
+	return b
+}
+
+// releaseBatch drops one reference and recycles the slab when the last
+// consumer is done. Items are zeroed so the pool does not retain user
+// values.
+func (p *Pipeline) releaseBatch(b *batch) {
+	if atomic.AddInt32(&b.refs, -1) != 0 {
+		return
+	}
+	clear(b.items)
+	b.items = b.items[:0]
+	p.slabs.Put(b)
+}
+
+// EnableBatch arms batched stage boundaries before Run: items cross
+// boundaries in slabs of up to grain items, flushed early when the
+// oldest item has waited linger (linger <= 0 picks DefaultLinger).
+// The grain is adjustable while running via SetGrain; the wiring
+// choice (batched vs per-item) is fixed at Run.
+func (p *Pipeline) EnableBatch(grain int, linger time.Duration) error {
+	if grain < 1 {
+		return fmt.Errorf("pipeline: EnableBatch grain %d below 1", grain)
+	}
+	if linger <= 0 {
+		linger = DefaultLinger
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ran {
+		return fmt.Errorf("pipeline: EnableBatch after Run")
+	}
+	p.batchOn = true
+	p.grain.Store(int64(grain))
+	p.linger.Store(int64(linger))
+	return nil
+}
+
+// SetGrain adjusts the batch size items travel in (minimum 1). Safe to
+// call while the pipeline runs — the head applies it to the next batch
+// it opens — which makes grain a live actuator dimension alongside
+// SetReplicas. It requires EnableBatch: the per-item wiring has no
+// batch boundary to resize.
+func (p *Pipeline) SetGrain(n int) error {
+	if n < 1 {
+		return fmt.Errorf("pipeline: SetGrain(%d) below 1", n)
+	}
+	if !p.batchOn {
+		return fmt.Errorf("pipeline: SetGrain without EnableBatch")
+	}
+	p.grain.Store(int64(n))
+	return nil
+}
+
+// Grain returns the current batch size (1 when batching is off).
+func (p *Pipeline) Grain() int {
+	if !p.batchOn {
+		return 1
+	}
+	return int(p.grain.Load())
+}
+
+// Batched reports whether Run will use batched stage boundaries.
+func (p *Pipeline) Batched() bool { return p.batchOn }
+
+// runBatched is Run's batched wiring: the same stage graph, with every
+// edge carrying *batch instead of seqItem.
+func (p *Pipeline) runBatched(ctx context.Context, inputs <-chan any) (<-chan any, <-chan error) {
+	ctx, cancel := context.WithCancel(ctx)
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	// Head batcher: sequence-tag the inputs and pack them into slabs,
+	// flushed on grain or linger. This is the only place batches are
+	// formed, so it is the only boundary where an item ever waits.
+	head := make(chan *batch, p.stages[0].Buffer)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(head)
+		seq, idx := 0, 0
+		var cur *batch
+		timer := time.NewTimer(time.Hour)
+		timer.Stop()
+		defer timer.Stop()
+		var timerC <-chan time.Time
+		flush := func() bool {
+			select {
+			case head <- cur:
+			case <-ctx.Done():
+				return false
+			}
+			cur = nil
+			timerC = nil
+			idx++
+			return true
+		}
+		for {
+			select {
+			case v, ok := <-inputs:
+				if !ok {
+					if cur != nil {
+						flush()
+					}
+					return
+				}
+				if cur == nil {
+					cur = p.newBatch(idx, seq)
+					timer.Reset(time.Duration(p.linger.Load()))
+					timerC = timer.C
+				}
+				cur.items = append(cur.items, v)
+				seq++
+				if len(cur.items) >= int(p.grain.Load()) {
+					timer.Stop()
+					if !flush() {
+						return
+					}
+				}
+			case <-timerC:
+				if !flush() {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Wire one *batch channel per graph edge — the same topology as the
+	// per-item path, with zip and broadcast operating batch-wise.
+	n := len(p.stages)
+	inEdges := make([][]int, n)
+	outEdges := make([][]int, n)
+	for ei, e := range p.edges {
+		outEdges[e.From] = append(outEdges[e.From], ei)
+		inEdges[e.To] = append(inEdges[e.To], ei)
+	}
+	chans := make([]chan *batch, len(p.edges))
+	for ei, e := range p.edges {
+		chans[ei] = make(chan *batch, p.stages[e.From].Buffer)
+	}
+	final := make(chan *batch, p.stages[n-1].Buffer)
+
+	for i := range p.stages {
+		var in <-chan *batch
+		switch {
+		case len(inEdges[i]) == 0: // entry
+			in = head
+		case len(inEdges[i]) == 1:
+			in = chans[inEdges[i][0]]
+		default: // merge: zip the batch streams
+			ins := make([]<-chan *batch, len(inEdges[i]))
+			for k, ei := range inEdges[i] {
+				ins[k] = chans[ei]
+			}
+			joined := make(chan *batch, p.stages[i].Buffer)
+			wg.Add(1)
+			go p.zipJoinBatched(ctx, ins, joined, &wg, fail)
+			in = joined
+		}
+		var out chan *batch
+		switch {
+		case len(outEdges[i]) == 0: // exit
+			out = final
+		case len(outEdges[i]) == 1:
+			out = chans[outEdges[i][0]]
+		default: // split: share the batch across every out-edge
+			outs := make([]chan<- *batch, len(outEdges[i]))
+			for k, ei := range outEdges[i] {
+				outs[k] = chans[ei]
+			}
+			spread := make(chan *batch, p.stages[i].Buffer)
+			wg.Add(1)
+			go p.broadcastBatched(ctx, spread, outs, &wg)
+			out = spread
+		}
+		wg.Add(1)
+		go p.runStageBatched(ctx, i, in, out, &wg, fail)
+	}
+
+	results := make(chan any)
+	errs := make(chan error, 1)
+	wg.Add(1)
+	go func() { // unpack batches and deliver items in order
+		defer wg.Done()
+		for b := range final {
+			for _, v := range b.items {
+				select {
+				case results <- v:
+				case <-ctx.Done():
+					p.releaseBatch(b)
+					return
+				}
+			}
+			p.releaseBatch(b)
+		}
+	}()
+	go func() {
+		wg.Wait()
+		if firstErr == nil && ctx.Err() != nil {
+			firstErr = ctx.Err()
+		}
+		if firstErr != nil {
+			errs <- firstErr
+		}
+		close(errs)
+		close(results)
+		cancel()
+	}()
+	return results, errs
+}
+
+// batchSink restores batch-index order at a replicated stage's output.
+// The worker that completes a batch drains everything now emittable,
+// so no separate reorder goroutine (and no done-channel hop) sits on
+// the boundary; see itemSink for the same shape per item.
+type batchSink struct {
+	ctx     context.Context
+	out     chan<- *batch
+	mu      sync.Mutex
+	pending ring.Reorder[*batch]
+}
+
+func (s *batchSink) put(b *batch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending.Put(b.idx, b)
+	for {
+		_, nb, ok := s.pending.PopNext()
+		if !ok {
+			return
+		}
+		select {
+		case s.out <- nb:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// runStageBatched dispatches whole batches to the stage's persistent
+// worker pool: one limiter acquire, one channel hop, and one reorder
+// operation per batch, with the stage function applied to each item in
+// sequence order so ordered output is identical to the per-item path.
+func (p *Pipeline) runStageBatched(ctx context.Context, i int, in <-chan *batch, out chan<- *batch, wg *sync.WaitGroup, fail func(error)) {
+	defer wg.Done()
+	lim := p.limits[i]
+	met := p.meters[i]
+	fn := p.stages[i].Fn
+	name := p.stages[i].Name
+
+	poolCap := 2 * p.stages[i].Replicas
+	if poolCap < 8 {
+		poolCap = 8
+	}
+	sink := batchSink{ctx: ctx, out: out}
+	pool := conc.NewPool(lim, poolCap, func(b *batch) {
+		ob := p.newBatch(b.idx, b.seq)
+		t0 := time.Now()
+		for k, v := range b.items {
+			r, err := fn(ctx, v)
+			if err != nil {
+				fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, b.seq+k, err))
+				p.releaseBatch(ob)
+				p.releaseBatch(b)
+				return
+			}
+			ob.items = append(ob.items, r)
+		}
+		met.RecordN(int64(len(ob.items)), time.Since(t0))
+		p.releaseBatch(b)
+		sink.put(ob)
+	})
+	for {
+		var b *batch
+		var ok bool
+		select {
+		case b, ok = <-in:
+		case <-ctx.Done():
+			ok = false
+		}
+		if !ok {
+			break
+		}
+		pool.Submit(b)
+	}
+	pool.Close()
+	close(out)
+}
+
+// zipJoinBatched merges the in-streams of a fan-in stage batch-wise.
+// Batches are formed once at the head and preserved 1-for-1 by every
+// stage, so the k-th batch of every in-stream has the same index,
+// first sequence number, and length; the join reads one batch per
+// stream in lockstep and emits a batch of []any part vectors.
+func (p *Pipeline) zipJoinBatched(ctx context.Context, ins []<-chan *batch, out chan<- *batch, wg *sync.WaitGroup, fail func(error)) {
+	defer wg.Done()
+	defer close(out)
+	for {
+		var ob *batch
+		for k, ch := range ins {
+			select {
+			case b, ok := <-ch:
+				if !ok {
+					// Streams carry identical batch sequences; the first
+					// to close ends the join.
+					if ob != nil {
+						p.releaseBatch(ob)
+					}
+					return
+				}
+				if ob == nil {
+					ob = p.newBatch(b.idx, b.seq)
+					for range b.items {
+						ob.items = append(ob.items, make([]any, len(ins)))
+					}
+				} else if b.idx != ob.idx || len(b.items) != len(ob.items) {
+					fail(fmt.Errorf("pipeline: fan-in batch skew (batch %d vs %d, %d vs %d items)",
+						b.idx, ob.idx, len(b.items), len(ob.items)))
+					p.releaseBatch(b)
+					p.releaseBatch(ob)
+					return
+				}
+				for j, v := range b.items {
+					ob.items[j].([]any)[k] = v
+				}
+				p.releaseBatch(b)
+			case <-ctx.Done():
+				if ob != nil {
+					p.releaseBatch(ob)
+				}
+				return
+			}
+		}
+		select {
+		case out <- ob:
+		case <-ctx.Done():
+			p.releaseBatch(ob)
+			return
+		}
+	}
+}
+
+// broadcastBatched fans a split stage's batch stream onto every
+// out-edge. The slab is shared, not copied: the reference count grows
+// by one per extra consumer and each downstream stage releases its
+// reference after reading (no consumer mutates a batch it received).
+func (p *Pipeline) broadcastBatched(ctx context.Context, in <-chan *batch, outs []chan<- *batch, wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer func() {
+		for _, ch := range outs {
+			close(ch)
+		}
+	}()
+	for {
+		var b *batch
+		var ok bool
+		select {
+		case b, ok = <-in:
+		case <-ctx.Done():
+			return
+		}
+		if !ok {
+			return
+		}
+		atomic.AddInt32(&b.refs, int32(len(outs)-1))
+		for _, ch := range outs {
+			select {
+			case ch <- b:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}

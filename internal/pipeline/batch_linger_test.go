@@ -1,0 +1,65 @@
+package pipeline
+
+// The linger bound: the head batcher is the only boundary where an
+// item ever waits for more input, and that wait is capped by the
+// linger timeout. Under a trickle far slower than the batch-fill rate
+// every item must flush on the timer, not sit until grain items
+// accumulate — the regression this guards is a batched pipeline adding
+// seconds of latency to sparse streams.
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTrickleNeverWaitsLongerThanLinger(t *testing.T) {
+	const (
+		grain  = 64
+		linger = 10 * time.Millisecond
+		gap    = 25 * time.Millisecond
+		items  = 12
+	)
+	ident := func(_ context.Context, v any) (any, error) { return v, nil }
+	p, err := New(Stage{Name: "r", Fn: ident, Replicas: 4, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableBatch(grain, linger); err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan any)
+	out, errs := p.Run(context.Background(), in)
+	sent := make([]time.Time, items)
+	go func() {
+		defer close(in)
+		for i := 0; i < items; i++ {
+			sent[i] = time.Now()
+			in <- i
+			time.Sleep(gap)
+		}
+	}()
+	// At one item per 25 ms, filling a 64-item batch would take ~1.6 s;
+	// the linger must flush each item within ~10 ms instead. The bound
+	// leaves generous scheduling slack for a loaded single-CPU runner
+	// while staying an order of magnitude below the fill time.
+	const bound = 250 * time.Millisecond
+	i := 0
+	for v := range out {
+		sojourn := time.Since(sent[i])
+		if v.(int) != i {
+			t.Fatalf("output %d: got %v", i, v)
+		}
+		if sojourn > bound {
+			t.Errorf("item %d waited %v, want < %v (linger %v, batch fill would be %v)",
+				i, sojourn, bound, linger, time.Duration(grain)*gap)
+		}
+		i++
+	}
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if i != items {
+		t.Fatalf("lost items: %d of %d", i, items)
+	}
+}

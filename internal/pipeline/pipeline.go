@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridpipe/internal/conc"
@@ -76,6 +77,14 @@ type Pipeline struct {
 	meters []*conc.Meter
 	ran    bool
 	mu     sync.Mutex
+
+	// Batched-boundary state (see batch.go). batchOn selects the wiring
+	// at Run; grain and linger are read atomically by the head batcher
+	// so SetGrain actuates while the pipeline runs.
+	batchOn bool
+	grain   atomic.Int64
+	linger  atomic.Int64 // nanoseconds
+	slabs   sync.Pool    // *batch
 }
 
 // New validates the stage list and builds a linear pipeline: stage i
@@ -189,8 +198,17 @@ func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-ch
 		panic("pipeline: Run called twice")
 	}
 	p.ran = true
+	batched := p.batchOn
 	p.mu.Unlock()
+	if batched {
+		return p.runBatched(ctx, inputs)
+	}
+	return p.runUnbatched(ctx, inputs)
+}
 
+// runUnbatched is Run's historical per-item wiring: every stage
+// boundary carries one seqItem per item.
+func (p *Pipeline) runUnbatched(ctx context.Context, inputs <-chan any) (<-chan any, <-chan error) {
 	ctx, cancel := context.WithCancel(ctx)
 	var (
 		errOnce  sync.Once
@@ -313,6 +331,40 @@ func (p *Pipeline) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-ch
 	return results, errs
 }
 
+// itemSink restores sequence order at a replicated stage's output. The
+// worker that completes an item puts it into the ring under the sink
+// mutex and drains everything now emittable directly onto the out
+// channel. Historically a dedicated reorder goroutine sat behind a
+// buffered done channel here; on few-core machines that cost one extra
+// channel hop and one extra goroutine wake-up per item, which is how
+// the per-item boundary fell behind the seed's goroutine-per-item
+// design (see DESIGN.md, "Granularity & batching"). A blocked send
+// only ever holds the mutex against sibling workers that would block
+// on the same full boundary anyway.
+type itemSink struct {
+	ctx     context.Context
+	out     chan<- seqItem
+	mu      sync.Mutex
+	pending ring.Reorder[any]
+}
+
+func (s *itemSink) put(seq int, v any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending.Put(seq, v)
+	for {
+		seq2, v2, ok := s.pending.PopNext()
+		if !ok {
+			return
+		}
+		select {
+		case s.out <- seqItem{seq2, v2}:
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
 // runStage dispatches items of stage i to a pool of persistent workers
 // bounded by the stage's replica limit, and restores output order.
 // Workers are spawned lazily up to the limit's high-water mark and
@@ -325,43 +377,17 @@ func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out c
 	fn := p.stages[i].Fn
 	name := p.stages[i].Name
 
-	// The completion buffer absorbs a full complement of replicas
-	// finishing at once — sized from the stage's initial replica
+	// The pool buffer absorbs a full complement of replicas between
+	// dispatcher and workers — sized from the stage's initial replica
 	// limit rather than hard-coded. Channel capacity cannot resize,
 	// so a stage grown far beyond its initial Replicas keeps this
 	// startup capacity; that only adds backpressure, never deadlock.
-	doneCap := 2 * p.stages[i].Replicas
-	if doneCap < 8 {
-		doneCap = 8
+	poolCap := 2 * p.stages[i].Replicas
+	if poolCap < 8 {
+		poolCap = 8
 	}
-	done := make(chan seqItem, doneCap)
-
-	// Reorderer: emits done items in sequence order. Sequence numbers
-	// are assigned 0,1,2,... at the head and every stage is 1-for-1 and
-	// order-preserving at its boundary, so the ring always starts
-	// expecting 0; anything out of order is held in the ring window
-	// (bounded by the number of in-flight items at this stage).
-	reordered := make(chan struct{})
-	go func() {
-		defer close(reordered)
-		var pending ring.Reorder[any]
-		for it := range done {
-			pending.Put(it.seq, it.v)
-			for {
-				seq, v, ok := pending.PopNext()
-				if !ok {
-					break
-				}
-				select {
-				case out <- seqItem{seq, v}:
-				case <-ctx.Done():
-					return
-				}
-			}
-		}
-	}()
-
-	pool := conc.NewPool(lim, doneCap, func(it seqItem) {
+	sink := itemSink{ctx: ctx, out: out}
+	pool := conc.NewPool(lim, poolCap, func(it seqItem) {
 		t0 := time.Now()
 		v, err := fn(ctx, it.v)
 		met.Record(time.Since(t0))
@@ -369,10 +395,7 @@ func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out c
 			fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, it.seq, err))
 			return
 		}
-		select {
-		case done <- seqItem{it.seq, v}:
-		case <-ctx.Done():
-		}
+		sink.put(it.seq, v)
 	})
 	for {
 		var it seqItem
@@ -388,8 +411,6 @@ func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out c
 		pool.Submit(it)
 	}
 	pool.Close()
-	close(done)
-	<-reordered
 	close(out)
 }
 

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"fmt"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+)
+
+// DefaultGrains is the grain ladder SearchGrain sweeps when the caller
+// passes none: powers of two from per-item up to 256, the same walk
+// the live controller's hill-climber takes one rung at a time.
+var DefaultGrains = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// SearchGrain extends a placement search with the granularity axis:
+// it runs the searcher once per candidate grain (the spec re-rated at
+// that batch size, see model.PipelineSpec.AtGrain) and returns the
+// grain whose best mapping predicts the highest throughput, together
+// with that mapping and prediction.
+//
+// Ties break towards the earlier candidate — on the ascending default
+// ladder, the smaller grain: batching that buys no predicted
+// throughput only costs latency, so per-item transfer wins unless
+// amortization actually pays. With a zero BatchOverhead and no
+// inter-node latency the sweep therefore degenerates to the plain
+// search at grain 1.
+func SearchGrain(s Searcher, g *grid.Grid, spec model.PipelineSpec, loads []float64, grains []int) (int, model.Mapping, model.Prediction, error) {
+	if s == nil {
+		return 0, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: SearchGrain with nil searcher")
+	}
+	if len(grains) == 0 {
+		grains = DefaultGrains
+	}
+	bestGrain := 0
+	var bestMap model.Mapping
+	var bestPred model.Prediction
+	for _, gr := range grains {
+		if gr < 1 {
+			return 0, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: grain %d below 1", gr)
+		}
+		m, p, err := s.Search(g, spec.AtGrain(gr), loads)
+		if err != nil {
+			return 0, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: grain %d: %w", gr, err)
+		}
+		if bestGrain == 0 || p.Throughput > bestPred.Throughput {
+			bestGrain, bestMap, bestPred = gr, m, p
+		}
+	}
+	return bestGrain, bestMap, bestPred, nil
+}

@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"testing"
+
+	"gridpipe/internal/grid"
+	"gridpipe/internal/model"
+)
+
+// With per-batch overhead dominating per-item work, the grain sweep
+// should pick a large grain; with a free boundary it should stay at
+// per-item transfer (smallest grain wins ties).
+func TestSearchGrainPicksAmortizingGrain(t *testing.T) {
+	g, err := grid.Homogeneous(3, 1, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(3, 0.001, 0)
+	spec.BatchOverhead = 0.05
+
+	grain, m, p, err := SearchGrain(Greedy{}, g, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grain < 64 {
+		t.Fatalf("overhead-dominated spec picked grain %d, want a large one", grain)
+	}
+	if err := m.Validate(spec.NumStages(), g.NumNodes()); err != nil {
+		t.Fatalf("invalid mapping: %v", err)
+	}
+	// The winning prediction is the searcher's own rating of the spec
+	// at the winning grain, not a re-derivation.
+	_, direct, err := Greedy{}.Search(g, spec.AtGrain(grain), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput != direct.Throughput {
+		t.Fatalf("sweep prediction %v != direct prediction %v at grain %d",
+			p.Throughput, direct.Throughput, grain)
+	}
+	// A single-grain sweep returns that grain.
+	g1, _, _, err := SearchGrain(Greedy{}, g, spec, nil, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != 1 {
+		t.Fatalf("single-grain sweep returned grain %d, want 1", g1)
+	}
+}
+
+func TestSearchGrainFreeBackplaneStaysPerItem(t *testing.T) {
+	g, err := grid.Homogeneous(2, 1, grid.LocalLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(2, 0.01, 0) // no bytes, no overhead
+	grain, _, _, err := SearchGrain(Greedy{}, g, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grain != 1 {
+		t.Fatalf("free boundary picked grain %d, want 1 (tie to smallest)", grain)
+	}
+}
+
+func TestSearchGrainErrors(t *testing.T) {
+	g, err := grid.Homogeneous(2, 1, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(2, 0.01, 0)
+	if _, _, _, err := SearchGrain(nil, g, spec, nil, nil); err == nil {
+		t.Fatal("nil searcher should error")
+	}
+	if _, _, _, err := SearchGrain(Greedy{}, g, spec, nil, []int{0}); err == nil {
+		t.Fatal("grain 0 should error")
+	}
+}

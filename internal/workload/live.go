@@ -126,6 +126,11 @@ type LiveOptions struct {
 	// modelled work (default 0.025: the genome align stage's 0.35
 	// ref-s becomes 8.75 ms).
 	Scale float64
+	// Batch makes batches of this many items the unit crossing stage
+	// boundaries (0 = per-item transfer; Auto = start at 1 and let the
+	// controller's granularity actuator walk it — requires a
+	// non-static policy).
+	Batch int
 }
 
 // LiveEvent is one resize the live controller performed.
@@ -149,6 +154,8 @@ type LiveOutcome struct {
 	Replicas         []int
 	// Victim is the stage the spike hit (-1 when no spike).
 	Victim int
+	// Grain is the final boundary batch size (1 when unbatched).
+	Grain int
 }
 
 // initialReplicas apportions budget workers over the spec's stages
@@ -250,11 +257,25 @@ func RunLive(app App, opts LiveOptions) (LiveOutcome, error) {
 	if err != nil {
 		return LiveOutcome{}, err
 	}
-	ctrl, err := liveadapt.ForPipeline(pl, info, liveadapt.Config{
+	cfg := liveadapt.Config{
 		Policy:     opts.Policy,
 		Interval:   opts.Interval,
 		MaxWorkers: opts.MaxWorkers,
-	})
+	}
+	if opts.Batch != 0 {
+		grain := opts.Batch
+		if grain == Auto {
+			if opts.Policy == adaptive.PolicyStatic {
+				return LiveOutcome{}, fmt.Errorf("workload: Batch=Auto needs a non-static policy")
+			}
+			grain = 1
+			cfg.AdaptGrain = true
+		}
+		if err := pl.EnableBatch(grain, 0); err != nil {
+			return LiveOutcome{}, err
+		}
+	}
+	ctrl, err := liveadapt.ForPipeline(pl, info, cfg)
 	if err != nil {
 		return LiveOutcome{}, err
 	}
@@ -315,6 +336,7 @@ func RunLive(app App, opts LiveOptions) (LiveOutcome, error) {
 		Throughput: float64(seen) / elapsed,
 		Replicas:   ctrl.Replicas(),
 		Victim:     -1,
+		Grain:      ctrl.Grain(),
 	}
 	if opts.SpikeLoad > 0 {
 		outc.Victim = opts.Victim
