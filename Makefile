@@ -28,7 +28,7 @@ bench:
 # Regenerate the machine-readable perf snapshot (see DESIGN.md,
 # "Benchmark protocol"; bump the file number to your PR number).
 bench-json:
-	$(GO) run ./cmd/pipebench -bench -stress -benchout BENCH_9.json
+	$(GO) run ./cmd/pipebench -bench -stress -benchout BENCH_10.json
 
 # Perf-regression gate: run a fresh snapshot and diff it against the
 # latest committed BENCH_<n>.json — fail on >MAXREGRESS ns/op
@@ -44,7 +44,7 @@ bench-diff:
 # Allocation-regression gate (the CI alloc-gate job): fail if any
 # hot-path micro-benchmark allocates per item.
 alloc-gate:
-	$(GO) run ./cmd/pipebench -bench -benchout BENCH_9.json -maxallocs 0
+	$(GO) run ./cmd/pipebench -bench -benchout BENCH_10.json -maxallocs 0
 
 # A short RPS-ramp smoke (the CI stress-smoke step): a small grid and
 # coarse ramp, just enough to exercise trace generation → SubmitTrace

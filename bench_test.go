@@ -86,6 +86,9 @@ func BenchmarkBatchBoundary(b *testing.B)        { benchMicro(b, "pipeline/batch
 func BenchmarkSeedReorderStage(b *testing.B)     { benchMicro(b, "pipeline/seed_reorder_stage") }
 func BenchmarkFarmUnordered(b *testing.B)        { benchMicro(b, "farm/unordered") }
 func BenchmarkExecRunItems(b *testing.B)         { benchMicro(b, "exec/run_items") }
+func BenchmarkStealLocalPop(b *testing.B)        { benchMicro(b, "steal/local_pop") }
+func BenchmarkStealStealHalf(b *testing.B)       { benchMicro(b, "steal/steal_half") }
+func BenchmarkStealInject(b *testing.B)          { benchMicro(b, "steal/inject") }
 func BenchmarkSchedSearch(b *testing.B)          { benchMicro(b, "sched/search") }
 func BenchmarkClusterArbitrate(b *testing.B)     { benchMicro(b, "cluster/arbitrate") }
 func BenchmarkArrivalNext(b *testing.B)          { benchMicro(b, "workload/arrival_next") }

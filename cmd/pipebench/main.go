@@ -240,13 +240,18 @@ func listExperiments(w io.Writer) {
 // benchReport is the schema of a BENCH_*.json file (see DESIGN.md,
 // "Benchmark protocol").
 type benchReport struct {
-	Bench       string              `json:"bench"`
-	GeneratedAt string              `json:"generated_at"`
-	GoVersion   string              `json:"go_version"`
-	GOOS        string              `json:"goos"`
-	GOARCH      string              `json:"goarch"`
-	CPUs        int                 `json:"cpus"`
-	Micro       []bench.MicroResult `json:"micro"`
+	Bench       string `json:"bench"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	// GoMaxProcs records the scheduler width the numbers were taken
+	// under; bench-diff warns (informationally) when it or CPUs differ
+	// from the baseline's, since wall-clock ratios across machine shapes
+	// reflect the machine, not the code.
+	GoMaxProcs int                 `json:"gomaxprocs,omitempty"`
+	Micro      []bench.MicroResult `json:"micro"`
 	// Sched records the branch-and-bound pruning telemetry on the T4
 	// validation configuration: candidates an unpruned enumeration
 	// would rate vs candidates the model actually evaluated. Absent
@@ -268,6 +273,17 @@ type benchReport struct {
 	// Absent from snapshots predating batched boundaries; bench-diff
 	// treats it as informational (the micro rows are gated as usual).
 	Batch *batchSection `json:"batch,omitempty"`
+	// Steal holds the work-stealing executor section: the deque and
+	// inject micro numbers plus a live handoff profile (how tasks
+	// reached workers, per item). Absent from snapshots predating the
+	// shared executor; bench-diff gates the micro rows as usual.
+	Steal *stealSection `json:"steal,omitempty"`
+	// EdgeGrains holds the per-edge granularity sweep: live throughput
+	// over boundary grain vectors plus the vector the model's
+	// coordinate-descent search picks on an asymmetric spec. Absent
+	// from snapshots predating per-edge grains; informational for
+	// bench-diff.
+	EdgeGrains *bench.EdgeGrainResult `json:"edge_grains,omitempty"`
 	// SeedBaseline records the seed commit's (e363cbf) hot-path
 	// numbers, measured with the pre-rewrite benchmarks on the same
 	// class of machine, so every BENCH file carries the comparison
@@ -306,6 +322,22 @@ type batchSection struct {
 	Grains []bench.GrainPoint `json:"grains,omitempty"`
 }
 
+// stealSection is the `steal` block of a BENCH_*.json report: the
+// executor's three micro numbers restated (ns per 64-cycle op and
+// allocs/op — the acceptance criterion requires 0) plus the live
+// handoff profile of a pipeline run on a dedicated executor.
+type stealSection struct {
+	LocalPopNsPerOp  float64 `json:"local_pop_ns_per_op"`
+	StealHalfNsPerOp float64 `json:"steal_half_ns_per_op"`
+	InjectNsPerOp    float64 `json:"inject_ns_per_op"`
+	LocalPopAllocs   int64   `json:"local_pop_allocs_per_op"`
+	StealHalfAllocs  int64   `json:"steal_half_allocs_per_op"`
+	InjectAllocs     int64   `json:"inject_allocs_per_op"`
+	// Profile is the handoffs-per-item accounting of a live run (see
+	// DESIGN.md, the handoff post-mortem).
+	Profile *bench.StealProfileResult `json:"profile,omitempty"`
+}
+
 // parseGrains resolves the -grain flag into the sweep's grain ladder;
 // an empty flag means "skip the sweep".
 func parseGrains(s string) ([]int, error) {
@@ -336,7 +368,34 @@ func runGrainSweep(grains []int, items int, w io.Writer) error {
 		fmt.Fprintf(w, "%8d %14.0f %16s\n", p.Grain, p.ItemsPerSec,
 			time.Duration(int64(p.P99LatencyNs)).Round(time.Microsecond))
 	}
+	// The per-edge counterpart: measure the corner vectors of the
+	// two-boundary lattice and report the vector the coordinate-descent
+	// search picks on the asymmetric spec.
+	fmt.Fprintf(w, "\nper-edge sweep (two-stage pipeline, %d items per point):\n", items)
+	eg, err := bench.EdgeGrainSweep(bench.EdgeGrainSweepConfig{Items: items})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%10s %14s\n", "grains", "items/s")
+	for _, p := range eg.Points {
+		mark := " "
+		if p.Chosen {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%9s%s %14.0f\n", grainVec(p.Grains), mark, p.ItemsPerSec)
+	}
+	fmt.Fprintf(w, "per-edge search chose [%s] (* above; model predicts %.1f items/s on the asymmetric spec)\n",
+		grainVec(eg.Chosen), eg.PredictedItemsPerSec)
 	return nil
+}
+
+// grainVec renders a boundary grain vector as "1,64".
+func grainVec(v []int) string {
+	parts := make([]string, len(v))
+	for i, g := range v {
+		parts[i] = strconv.Itoa(g)
+	}
+	return strings.Join(parts, ",")
 }
 
 // loadTrace reads a recorded arrival trace for stress replay: .csv
@@ -408,6 +467,7 @@ func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, par
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		CPUs:         runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 		SeedBaseline: seedBaseline,
 	}
 	if micro {
@@ -467,6 +527,47 @@ func runBench(out string, maxAlloc int, diffPath string, maxRegress float64, par
 		rep.Batch = sec
 		fmt.Printf("batch boundary: %.0f items/s, %.2fx vs unbatched, %.2fx vs seed, %d allocs/op\n",
 			sec.BoundaryItemsPerSec, sec.SpeedupVsUnbatched, sec.SpeedupVsSeed, sec.BoundaryAllocsPerOp)
+
+		st := &stealSection{}
+		for _, m := range rep.Micro {
+			switch m.Name {
+			case "steal/local_pop":
+				st.LocalPopNsPerOp = m.NsPerOp
+				st.LocalPopAllocs = m.AllocsPerOp
+			case "steal/steal_half":
+				st.StealHalfNsPerOp = m.NsPerOp
+				st.StealHalfAllocs = m.AllocsPerOp
+			case "steal/inject":
+				st.InjectNsPerOp = m.NsPerOp
+				st.InjectAllocs = m.AllocsPerOp
+			}
+		}
+		fmt.Println("profiling executor handoffs on a live pipeline run...")
+		profile, err := bench.StealProfile(grainItems)
+		if err != nil {
+			return err
+		}
+		st.Profile = profile
+		rep.Steal = st
+		fmt.Printf("steal handoffs per item: %.3f injects, %.3f pops, %.3f grabbed, %.3f steals, %.3f parks\n",
+			profile.InjectsPerItem, profile.PopsPerItem, profile.GrabbedPerItem,
+			profile.StealsPerItem, profile.ParksPerItem)
+
+		fmt.Println("running the per-edge grain sweep...")
+		eg, err := bench.EdgeGrainSweep(bench.EdgeGrainSweepConfig{Items: grainItems})
+		if err != nil {
+			return err
+		}
+		rep.EdgeGrains = eg
+		for _, p := range eg.Points {
+			mark := " "
+			if p.Chosen {
+				mark = "*"
+			}
+			fmt.Printf("edge grains [%s]%s %12.0f items/s\n", grainVec(p.Grains), mark, p.ItemsPerSec)
+		}
+		fmt.Printf("per-edge search chose [%s] (model predicts %.1f items/s on the asymmetric spec)\n",
+			grainVec(eg.Chosen), eg.PredictedItemsPerSec)
 	}
 	if stress != nil {
 		fmt.Println("running the RPS stress ramp...")
@@ -531,6 +632,17 @@ func diffBench(fresh []bench.MicroResult, diffPath string, maxRegress float64) e
 	}
 	var regressions []string
 	fmt.Printf("diff against %s (bench %s, %s):\n", diffPath, base.Bench, base.GeneratedAt)
+	// Cross-machine comparisons are warnings, never failures: ns/op
+	// ratios taken under a different core count or scheduler width
+	// reflect the machine, not the code.
+	if base.CPUs != 0 && base.CPUs != runtime.NumCPU() {
+		fmt.Printf("  warning: baseline ran on %d CPUs, this machine has %d — ns/op deltas may reflect the machine, not the code\n",
+			base.CPUs, runtime.NumCPU())
+	}
+	if base.GoMaxProcs != 0 && base.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		fmt.Printf("  warning: baseline ran at GOMAXPROCS=%d, this run is at %d — ns/op deltas may reflect the scheduler width, not the code\n",
+			base.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
 	if len(base.Parallel) == 0 {
 		// Snapshots predating the parallel core have no sweep section;
 		// the sweep is informational either way (wall-clock scaling

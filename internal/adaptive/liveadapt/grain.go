@@ -15,10 +15,29 @@ type GrainTarget interface {
 	SetGrain(n int) error
 }
 
-func (t pipelineTarget) Grain() int          { return t.p.Grain() }
-func (t pipelineTarget) SetGrain(n int) error { return t.p.SetGrain(n) }
+// EdgeGrainTarget is the per-edge refinement of GrainTarget: targets
+// whose boundaries are independently grained (a pipeline under
+// EnableBatchEdges) expose each one for the controller to walk
+// separately. A target reporting a single boundary behaves exactly
+// like its GrainTarget surface.
+type EdgeGrainTarget interface {
+	GrainTarget
+	// GrainBoundaries returns how many independently tunable
+	// boundaries the target has (1 under uniform batching).
+	GrainBoundaries() int
+	// GrainAt returns boundary b's current batch size.
+	GrainAt(b int) int
+	// SetGrainAt changes boundary b's batch size while running.
+	SetGrainAt(b, n int) error
+}
 
-func (t farmTarget) Grain() int          { return t.f.Batch() }
+func (t pipelineTarget) Grain() int                { return t.p.Grain() }
+func (t pipelineTarget) SetGrain(n int) error      { return t.p.SetGrain(n) }
+func (t pipelineTarget) GrainBoundaries() int      { return t.p.GrainBoundaries() }
+func (t pipelineTarget) GrainAt(b int) int         { return t.p.GrainAt(b) }
+func (t pipelineTarget) SetGrainAt(b, n int) error { return t.p.SetGrainAt(b, n) }
+
+func (t farmTarget) Grain() int           { return t.f.Batch() }
 func (t farmTarget) SetGrain(n int) error { return t.f.SetBatch(n) }
 
 // grainWalk is the granularity hill-climber's state, owned by liveSub
@@ -32,18 +51,37 @@ func (t farmTarget) SetGrain(n int) error { return t.f.SetBatch(n) }
 // degradation factor of the rate the settled grain delivered — the
 // same trigger discipline the replica controller uses, so a workload
 // shift re-opens both actuators.
+//
+// Per-edge targets turn the walk into a coordinate descent: the same
+// double-or-halve probe runs against one boundary at a time, moving to
+// the next boundary when a step is reverted, lands within the margin,
+// or hits a rail, and settling only once every boundary in a row has
+// yielded nothing. With a single boundary the rotation is the identity
+// and the walk is exactly the uniform one.
 type grainWalk struct {
 	target  GrainTarget
-	max     int     // grain ceiling
-	margin  float64 // accept threshold (derived from HysteresisGain)
-	degrade float64 // re-arm threshold (DegradationFactor)
+	et      EdgeGrainTarget // non-nil when walking boundaries separately
+	nb      int             // boundary count (1 without et)
+	max     int             // grain ceiling
+	margin  float64         // accept threshold (derived from HysteresisGain)
+	degrade float64         // re-arm threshold (DegradationFactor)
 
 	last    float64 // time of the last grain change (cooldown anchor)
-	dir     int     // +1 doubling, -1 halving
+	b       int     // boundary currently being probed
+	dirs    []int   // per-boundary direction: +1 doubling, -1 halving
+	quiet   int     // consecutive boundaries that yielded no accepted step
 	prev    int     // grain before the pending step (revert point)
-	rate    float64 // best throughput attributed to the current grain
+	rate    float64 // best throughput attributed to the current grains
 	pending bool    // a step awaits its post-cooldown evaluation
 	settled bool    // walk converged; waiting for degradation
+}
+
+// grainAt reads the probed boundary's current batch size.
+func (w *grainWalk) grainAt(b int) int {
+	if w.et != nil {
+		return w.et.GrainAt(b)
+	}
+	return w.target.Grain()
 }
 
 // step advances the walker one tick: evaluate a pending grain change
@@ -63,27 +101,29 @@ func (w *grainWalk) step(s *liveSub, now float64) {
 	if math.IsNaN(tput) {
 		return
 	}
-	cur := w.target.Grain()
+	cur := w.grainAt(w.b)
 
 	if w.pending {
 		w.pending = false
 		switch {
 		case tput >= w.rate*w.margin:
-			// The step paid for itself: keep it, keep walking.
+			// The step paid for itself: keep it, keep walking this
+			// boundary.
 			w.rate = tput
+			w.quiet = 0
 		case tput*w.margin < w.rate:
-			// The step cost throughput: revert and settle. The
-			// direction flips so a later re-armed walk probes the
-			// other side first.
-			w.actuate(w.prev, now)
-			w.dir = -w.dir
-			w.settled = true
+			// The step cost throughput: revert and move on. The
+			// direction flips so a later pass over this boundary
+			// probes the other side first.
+			w.actuate(w.b, w.prev, now)
+			w.dirs[w.b] = -w.dirs[w.b]
+			w.advance()
 			return
 		default:
 			// Within the margin either way: keep the grain (it did
-			// not hurt) but stop walking.
+			// not hurt) but stop probing this boundary.
 			w.rate = tput
-			w.settled = true
+			w.advance()
 			return
 		}
 	}
@@ -95,14 +135,15 @@ func (w *grainWalk) step(s *liveSub, now float64) {
 			}
 			return
 		}
-		// Observed rate collapsed below the settled grain's record:
+		// Observed rate collapsed below the settled grains' record:
 		// re-open the walk from current conditions.
 		w.settled = false
+		w.quiet = 0
 		w.rate = tput
 	}
 
 	next := cur
-	if w.dir >= 0 {
+	if w.dirs[w.b] >= 0 {
 		next = cur * 2
 	} else {
 		next = cur / 2
@@ -114,22 +155,40 @@ func (w *grainWalk) step(s *liveSub, now float64) {
 		next = w.max
 	}
 	if next == cur {
-		// Hit a rail: try the other direction next time, or settle if
-		// the range is degenerate.
-		w.dir = -w.dir
-		w.settled = true
+		// Hit a rail: probe this boundary's other direction on the
+		// next pass, move on now.
+		w.dirs[w.b] = -w.dirs[w.b]
+		w.advance()
 		return
 	}
 	w.prev = cur
 	if math.IsNaN(w.rate) {
 		w.rate = tput
 	}
-	w.actuate(next, now)
+	w.actuate(w.b, next, now)
 	w.pending = true
 }
 
-func (w *grainWalk) actuate(n int, now float64) {
-	if err := w.target.SetGrain(n); err != nil {
+// advance rotates to the next boundary, settling once a full rotation
+// has yielded no accepted step. With one boundary this settles
+// immediately — the uniform walk's behaviour.
+func (w *grainWalk) advance() {
+	w.quiet++
+	if w.quiet >= w.nb {
+		w.settled = true
+		return
+	}
+	w.b = (w.b + 1) % w.nb
+}
+
+func (w *grainWalk) actuate(b, n int, now float64) {
+	var err error
+	if w.et != nil {
+		err = w.et.SetGrainAt(b, n)
+	} else {
+		err = w.target.SetGrain(n)
+	}
+	if err != nil {
 		// The target's grain surface was probed at construction; a
 		// failure here is a programming error.
 		panic("liveadapt: SetGrain: " + err.Error())

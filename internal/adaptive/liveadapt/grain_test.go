@@ -110,6 +110,66 @@ func TestGrainWalkReArmsOnDegradation(t *testing.T) {
 	}
 }
 
+// edgeFake scripts a two-boundary EdgeGrainTarget.
+type edgeFake struct {
+	*fakeTarget
+	grains []int
+}
+
+func (f *edgeFake) Grain() int { return f.grains[0] }
+func (f *edgeFake) SetGrain(n int) error {
+	for b := range f.grains {
+		f.grains[b] = n
+	}
+	return nil
+}
+func (f *edgeFake) GrainBoundaries() int { return len(f.grains) }
+func (f *edgeFake) GrainAt(b int) int    { return f.grains[b] }
+func (f *edgeFake) SetGrainAt(b, n int) error {
+	f.grains[b] = n
+	return nil
+}
+
+func TestGrainWalkCoordinateDescentPerBoundary(t *testing.T) {
+	f := &edgeFake{fakeTarget: newFake(1), grains: []int{1, 1}}
+	s := subFor(t, f, nil, Config{
+		Policy:     adaptive.PolicyPeriodic,
+		Interval:   time.Second,
+		Cooldown:   2 * time.Second,
+		AdaptGrain: true,
+		MaxGrain:   64,
+	})
+	if s.grain.et == nil || s.grain.nb != 2 {
+		t.Fatalf("walker should descend over 2 boundaries, got nb=%d", s.grain.nb)
+	}
+	// Boundary 0 amortizes a heavy per-batch overhead; coarsening
+	// boundary 1 only costs throughput. The descent must coarsen the
+	// first and keep the second fine.
+	rate := func(int) float64 {
+		r := 1000 / (1 + 9/float64(f.grains[0]))
+		return r / (1 + 0.5*float64(f.grains[1]-1))
+	}
+	drive2 := func(from, ticks int) {
+		cool := s.cfg.Cooldown.Seconds()
+		now := float64(from) * cool
+		for i := 0; i < ticks; i++ {
+			now += cool
+			s.done.Add(int64(rate(0) * cool))
+			s.Sample(now)
+		}
+	}
+	drive2(1, 80)
+	if f.grains[0] < 32 {
+		t.Fatalf("overhead-dominated boundary stuck at grain %d, want coarse (grains %v)", f.grains[0], f.grains)
+	}
+	if f.grains[1] != 1 {
+		t.Fatalf("penalized boundary coarsened to %d, want 1 (grains %v)", f.grains[1], f.grains)
+	}
+	if !s.grain.settled {
+		t.Fatal("descent should settle once every boundary yields nothing")
+	}
+}
+
 func TestAdaptGrainConstructionChecks(t *testing.T) {
 	// A plain fake has no grain surface.
 	if _, err := newController(newFake(1), nil, Config{Policy: adaptive.PolicyPeriodic, AdaptGrain: true}); err == nil {

@@ -242,13 +242,24 @@ func newController(target Target, info []StageInfo, cfg Config) (*Controller, er
 		}
 		sub.grain = &grainWalk{
 			target: gt,
+			nb:     1,
 			max:    cfg.MaxGrain,
 			// Accepting a grain step is cheaper than a remapping, so
 			// the walk demands a quarter of the resize margin.
 			margin:  1 + (hg-1)/4,
 			degrade: df,
-			dir:     1,
 			rate:    math.NaN(),
+		}
+		// A per-edge target turns the walk into a coordinate descent
+		// over its boundaries; a single-boundary (uniform) target
+		// degenerates to the scalar walk.
+		if et, ok := target.(EdgeGrainTarget); ok && et.GrainBoundaries() > 1 {
+			sub.grain.et = et
+			sub.grain.nb = et.GrainBoundaries()
+		}
+		sub.grain.dirs = make([]int, sub.grain.nb)
+		for b := range sub.grain.dirs {
+			sub.grain.dirs[b] = 1
 		}
 	}
 	core, err := adaptive.New(sub, sub, &wallClock{epoch: sub.epoch}, adaptive.Config{
@@ -278,6 +289,20 @@ func (c *Controller) Grain() int {
 		return gt.Grain()
 	}
 	return 1
+}
+
+// Grains returns the per-boundary batch sizes the controller is
+// walking: one entry per tunable boundary for a per-edge target, a
+// single entry for a uniform one.
+func (c *Controller) Grains() []int {
+	if et, ok := c.sub.target.(EdgeGrainTarget); ok {
+		out := make([]int, et.GrainBoundaries())
+		for b := range out {
+			out[b] = et.GrainAt(b)
+		}
+		return out
+	}
+	return []int{c.Grain()}
 }
 
 // Replicas returns the current worker-count vector.

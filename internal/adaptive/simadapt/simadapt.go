@@ -19,6 +19,7 @@ package simadapt
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"gridpipe/internal/adaptive"
 	"gridpipe/internal/exec"
@@ -51,6 +52,20 @@ type Config struct {
 	MaxReplicas int
 	// Searcher finds candidate mappings (default LocalSearch).
 	Searcher sched.Searcher
+	// AdaptGrain adds the granularity axis to every decision: the
+	// search sweeps candidate batch sizes (sched.SearchGrain) alongside
+	// placements, and the winning grain is applied to the spec the
+	// controller plans and rates with from then on. A remap triggered
+	// by a load spike can therefore change the grain as well as the
+	// mapping.
+	AdaptGrain bool
+	// PerEdgeGrain upgrades the grain axis to one batch size per stage
+	// boundary (sched.SearchGrainVector's coordinate descent). Implies
+	// nothing unless AdaptGrain is set.
+	PerEdgeGrain bool
+	// Grains is the candidate ladder the grain search sweeps
+	// (default sched.DefaultGrains).
+	Grains []int
 }
 
 // Controller drives adaptation of one simulated executor. It wraps the
@@ -59,7 +74,8 @@ type Config struct {
 // remap, off-tick and regardless of hysteresis.
 type Controller struct {
 	*adaptive.Controller
-	ex *exec.Executor
+	ex  *exec.Executor
+	act *actuator
 }
 
 // New builds a controller. Call Start before running the engine. The
@@ -75,9 +91,10 @@ func New(eng *sim.Engine, g *grid.Grid, ex *exec.Executor, spec model.PipelineSp
 	for i := range sensors {
 		sensors[i] = monitor.NewNodeSensor(g.Node(grid.NodeID(i)), nil)
 	}
+	act := &actuator{g: g, ex: ex, spec: spec, cfg: cfg}
 	core, err := adaptive.New(
 		&sensor{g: g, ex: ex, spec: spec, sensors: sensors},
-		&actuator{g: g, ex: ex, spec: spec, cfg: cfg},
+		act,
 		clock{eng: eng},
 		adaptive.Config{
 			Policy:             cfg.Policy,
@@ -91,7 +108,21 @@ func New(eng *sim.Engine, g *grid.Grid, ex *exec.Executor, spec model.PipelineSp
 	if err != nil {
 		return nil, err
 	}
-	return &Controller{Controller: core, ex: ex}, nil
+	return &Controller{Controller: core, ex: ex, act: act}, nil
+}
+
+// Grains returns the per-boundary batch sizes of the spec the
+// controller currently plans with: all ones until an AdaptGrain
+// decision coarsens a boundary. Entry i is the grain entering stage i.
+func (c *Controller) Grains() []int {
+	c.act.mu.Lock()
+	spec := c.act.spec
+	c.act.mu.Unlock()
+	out := make([]int, spec.NumStages())
+	for i := range out {
+		out[i] = int(spec.EffGrainAt(i))
+	}
+	return out
 }
 
 // Start installs the periodic sensing/decision tick and the fault
@@ -174,14 +205,24 @@ func (s *sensor) Slowdowns() []float64 {
 // actuator implements adaptive.Actuator: the analytic model rates
 // configurations and exec.Remap applies them.
 type actuator struct {
-	g    *grid.Grid
-	ex   *exec.Executor
+	g  *grid.Grid
+	ex *exec.Executor
+	// mu guards spec against Controller.Grains readers; the Actuator
+	// methods themselves run under the core controller's mutex.
+	mu   sync.Mutex
 	spec model.PipelineSpec
 	cfg  Config
 	// availBuf is the reusable availability mask handed to the search;
 	// it stays nil (and the search unrestricted) until churn actually
 	// takes a node out.
 	availBuf []bool
+}
+
+// proposalRef is the actuator's Apply handle: the winning mapping plus
+// the spec (with its chosen grain) it was rated at.
+type proposalRef struct {
+	m    model.Mapping
+	spec model.PipelineSpec
 }
 
 // Expected rates the current mapping under the load estimates. The
@@ -217,28 +258,69 @@ func (a *actuator) Propose(loads []float64) (*adaptive.Proposal, bool) {
 			return nil, false // nothing to map onto; wait for a rejoin
 		}
 	}
-	cand, candPred, err := sched.SearchAvailable(a.cfg.Searcher, a.g, a.spec, loads, avail)
+	// With AdaptGrain the search runs over placements × batch sizes;
+	// the replication pass then widens stages with the winning grain
+	// priced in. Without it, the legacy placement-only path runs
+	// verbatim (and the goldens stay bit-identical).
+	var cand model.Mapping
+	var candPred model.Prediction
+	var err error
+	spec := a.spec
+	switch {
+	case a.cfg.AdaptGrain && a.cfg.PerEdgeGrain:
+		var vec []int
+		vec, cand, candPred, err = sched.SearchGrainVectorAvail(a.cfg.Searcher, a.g, a.spec, loads, a.cfg.Grains, avail)
+		if err == nil {
+			spec = a.spec.AtGrains(vec)
+		}
+	case a.cfg.AdaptGrain:
+		var gr int
+		gr, cand, candPred, err = sched.SearchGrainAvail(a.cfg.Searcher, a.g, a.spec, loads, a.cfg.Grains, avail)
+		if err == nil {
+			spec = a.spec.AtGrain(gr)
+		}
+	default:
+		cand, candPred, err = sched.SearchAvailable(a.cfg.Searcher, a.g, a.spec, loads, avail)
+	}
 	if err != nil {
 		panic(fmt.Sprintf("adaptive: search: %v", err))
 	}
-	cand, candPred, err = sched.ImproveWithReplicationAvail(a.g, a.spec, cand, loads, a.cfg.MaxReplicas, avail)
+	cand, candPred, err = sched.ImproveWithReplicationAvail(a.g, spec, cand, loads, a.cfg.MaxReplicas, avail)
 	if err != nil {
 		panic(fmt.Sprintf("adaptive: replication: %v", err))
 	}
 	old := a.ex.Mapping()
-	if cand.Equal(old) {
+	// A grain-only change is still a change: the mapping may be equal
+	// while the spec the controller should plan with moved on.
+	if cand.Equal(old) && grainsEqual(spec, a.spec) {
 		return nil, true
 	}
 	return &adaptive.Proposal{
 		From:      old,
 		To:        cand,
 		Predicted: candPred.Throughput,
-		Ref:       cand,
+		Ref:       proposalRef{m: cand, spec: spec},
 	}, true
 }
 
+// grainsEqual reports whether two variants of the same base spec carry
+// the same effective grain at every boundary.
+func grainsEqual(x, y model.PipelineSpec) bool {
+	for i := range x.Stages {
+		if x.EffGrainAt(i) != y.EffGrainAt(i) {
+			return false
+		}
+	}
+	return true
+}
+
 func (a *actuator) Apply(p *adaptive.Proposal) adaptive.Actuation {
-	st, err := a.ex.Remap(p.Ref.(model.Mapping), a.cfg.Protocol)
+	ref := p.Ref.(proposalRef)
+	a.mu.Lock()
+	grainChanged := !grainsEqual(ref.spec, a.spec)
+	a.spec = ref.spec
+	a.mu.Unlock()
+	st, err := a.ex.Remap(ref.m, a.cfg.Protocol)
 	if err != nil {
 		panic(fmt.Sprintf("adaptive: remap: %v", err))
 	}
@@ -246,7 +328,7 @@ func (a *actuator) Apply(p *adaptive.Proposal) adaptive.Actuation {
 		Moved:      st.Moved,
 		Killed:     st.Killed,
 		RedoneWork: st.RedoneWork,
-		Changed:    st.Changed,
+		Changed:    st.Changed || grainChanged,
 	}
 }
 

@@ -98,6 +98,55 @@ func TestAdaptiveEscapesLoadedNode(t *testing.T) {
 	}
 }
 
+// A reactive controller with the grain axis enabled must leave the
+// grain alone while the grid is healthy (no search ever runs) and, when
+// the load spike fires the remap, come back with a coarser grain on the
+// boundary whose per-batch cost the coarsening amortizes — while the
+// free head boundary stays per-item.
+func TestSpikeTriggeredRemapChangesGrainOnLoadedEdge(t *testing.T) {
+	g := spikeGrid(t, 20)
+	spec := model.Balanced(2, 0.1, 100)
+	// Only the inter-stage edge pays a per-batch cost; the head
+	// boundary is free and should stay at grain 1.
+	spec.BatchOverheads = []float64{0, 0.05}
+	eng := &sim.Engine{}
+	ex, err := exec.New(eng, g, spec, model.OneToOne(2), exec.Options{MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ThroughputWindow 1: the default 5 s window reads the first few
+	// ramp-up seconds as a throughput collapse and would fire the
+	// trigger (and coarsen the grain) before the spike.
+	ctrl, err := New(eng, g, ex, spec, Config{
+		Policy: adaptive.PolicyReactive, Interval: 1, ThroughputWindow: 1,
+		AdaptGrain: true, PerEdgeGrain: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	ex.RunUntil(19)
+	if gr := ctrl.Grains(); gr[0] != 1 || gr[1] != 1 {
+		t.Fatalf("grain moved to %v before the spike", gr)
+	}
+	ex.RunUntil(60)
+	ctrl.Stop()
+	st := ctrl.Stats()
+	if st.Remaps == 0 {
+		t.Fatal("spike did not trigger a remap")
+	}
+	if st.Events[0].Time < 20 {
+		t.Fatalf("remap at %v, before the spike at 20", st.Events[0].Time)
+	}
+	gr := ctrl.Grains()
+	if gr[1] < 2 {
+		t.Fatalf("remap kept the costly edge at grain %d, want coarse (grains %v)", gr[1], gr)
+	}
+	if gr[0] != 1 {
+		t.Fatalf("free head boundary coarsened to %d (grains %v)", gr[0], gr)
+	}
+}
+
 func TestHysteresisPreventsChurnOnStableGrid(t *testing.T) {
 	// Stable, perfectly balanced system: no remap should ever fire,
 	// even under the periodic policy, because the hysteresis bar is

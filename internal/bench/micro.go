@@ -15,8 +15,11 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
+	"gridpipe/internal/conc/steal"
 	"gridpipe/internal/exec"
 	"gridpipe/internal/farm"
 	"gridpipe/internal/grid"
@@ -85,6 +88,21 @@ func Micros() []Micro {
 			Name: "workload/arrival_next",
 			Desc: "open-loop arrival generation: 64 Next draws per op across poisson/bursty/diurnal/pareto (items/s = arrival events)",
 			Run:  benchArrivalNext,
+		},
+		{
+			Name: "steal/local_pop",
+			Desc: "work-stealing deque: 64 owner Push→Pop cycles per op on one deque",
+			Run:  benchStealLocalPop,
+		},
+		{
+			Name: "steal/steal_half",
+			Desc: "work-stealing deque: fill 64, thief steals half repeatedly until dry, per op",
+			Run:  benchStealStealHalf,
+		},
+		{
+			Name: "steal/inject",
+			Desc: "executor global inject ring: 64 Submit→complete cycles per op through a live executor",
+			Run:  benchStealInject,
 		},
 		{
 			Name: "sched/search",
@@ -258,6 +276,80 @@ func benchArrivalNext(b *testing.B) {
 	if sink < 0 {
 		b.Fatal("negative gap sum")
 	}
+}
+
+func benchStealLocalPop(b *testing.B) {
+	var dq steal.Deque
+	fn := func(any) {}
+	t := steal.Task{Fn: fn}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < calendarBatch; j++ {
+			if !dq.Push(t) {
+				b.Fatal("deque full")
+			}
+		}
+		for j := 0; j < calendarBatch; j++ {
+			if _, ok := dq.Pop(); !ok {
+				b.Fatal("deque empty")
+			}
+		}
+	}
+	b.ReportMetric(float64(b.N*calendarBatch)/b.Elapsed().Seconds(), "items/s")
+}
+
+func benchStealStealHalf(b *testing.B) {
+	var victim steal.Deque
+	var buf [calendarBatch]steal.Task
+	fn := func(any) {}
+	t := steal.Task{Fn: fn}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < calendarBatch; j++ {
+			if !victim.Push(t) {
+				b.Fatal("deque full")
+			}
+		}
+		taken := 0
+		for taken < calendarBatch {
+			k := victim.Steal(buf[:])
+			if k == 0 {
+				b.Fatal("steal found nothing with work queued")
+			}
+			taken += k
+		}
+	}
+	b.ReportMetric(float64(b.N*calendarBatch)/b.Elapsed().Seconds(), "items/s")
+}
+
+func benchStealInject(b *testing.B) {
+	ex := steal.New(2)
+	b.Cleanup(ex.Close)
+	var done atomic.Int64
+	fn := func(any) { done.Add(1) }
+	t := steal.Task{Fn: fn}
+	// Warm the inject ring so steady state never grows it.
+	for j := 0; j < calendarBatch; j++ {
+		ex.Submit(t)
+	}
+	for done.Load() != calendarBatch {
+		runtime.Gosched()
+	}
+	done.Store(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < calendarBatch; j++ {
+			ex.Submit(t)
+		}
+		want := int64(i+1) * calendarBatch
+		for done.Load() != want {
+			runtime.Gosched()
+		}
+	}
+	b.ReportMetric(float64(b.N*calendarBatch)/b.Elapsed().Seconds(), "items/s")
 }
 
 func benchExecRunItems(b *testing.B) {

@@ -1,0 +1,76 @@
+package bench
+
+// StealProfile: the work-stealing executor's handoff accounting for
+// one live pipeline run. A fresh executor (so counters start at zero)
+// backs the same 8-replica identity boundary the
+// pipeline/reorder_stage micro measures; the returned Stats expose
+// how tasks reached workers — local pops vs global grabs vs steals —
+// which pipebench folds into the BENCH_*.json `steal` section and the
+// DESIGN.md handoff post-mortem cites as handoffs-per-item.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"gridpipe/internal/conc/steal"
+	"gridpipe/internal/pipeline"
+)
+
+// StealProfileResult is one profiled run's outcome.
+type StealProfileResult struct {
+	Items int         `json:"items"`
+	Stats steal.Stats `json:"-"`
+
+	// Per-item handoff ratios, the numbers the post-mortem tracks.
+	InjectsPerItem float64 `json:"injects_per_item"`
+	PopsPerItem    float64 `json:"pops_per_item"`
+	GrabbedPerItem float64 `json:"grabbed_per_item"`
+	StealsPerItem  float64 `json:"steals_per_item"`
+	ParksPerItem   float64 `json:"parks_per_item"`
+}
+
+// StealProfile pushes items through an 8-replica identity stage backed
+// by a dedicated executor and returns the executor's counter profile.
+func StealProfile(items int) (*StealProfileResult, error) {
+	if items <= 0 {
+		items = 200_000
+	}
+	ex := steal.New(runtime.GOMAXPROCS(0))
+	defer ex.Close()
+	ident := func(ctx context.Context, v any) (any, error) { return v, nil }
+	p, err := pipeline.New(pipeline.Stage{Name: "r", Fn: ident, Replicas: 8, Buffer: 64})
+	if err != nil {
+		return nil, err
+	}
+	p.UseExecutor(ex)
+	in := make(chan any, 256)
+	out, errs := p.Run(context.Background(), in)
+	go func() {
+		for i := 0; i < items; i++ {
+			in <- nil
+		}
+		close(in)
+	}()
+	count := 0
+	for range out {
+		count++
+	}
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	if count != items {
+		return nil, fmt.Errorf("bench: steal profile lost items (%d of %d)", count, items)
+	}
+	st := ex.Stats()
+	n := float64(items)
+	return &StealProfileResult{
+		Items:          items,
+		Stats:          st,
+		InjectsPerItem: float64(st.Injects) / n,
+		PopsPerItem:    float64(st.Pops) / n,
+		GrabbedPerItem: float64(st.Grabbed) / n,
+		StealsPerItem:  float64(st.Steals) / n,
+		ParksPerItem:   float64(st.Parks) / n,
+	}, nil
+}

@@ -8,6 +8,7 @@ package farm
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -185,5 +186,68 @@ func TestFarmTrickleNeverWaitsLongerThanLinger(t *testing.T) {
 	}
 	if count != items {
 		t.Fatalf("lost tasks: %d of %d", count, items)
+	}
+}
+
+// TestFarmBatchWorkersConcurrent is the mid-flight actuation
+// regression test (pipeline counterpart:
+// TestGrainResizeConcurrentMidFlight): SetBatch racing SetWorkers on a
+// running ordered farm must stay race-free and never drop or reorder
+// a task.
+func TestFarmBatchWorkersConcurrent(t *testing.T) {
+	f, err := New(func(_ context.Context, v any) (any, error) {
+		return v, nil
+	}, Options{Workers: 2, Buffer: 16, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 30000
+	in := make(chan any, 64)
+	out, errs := f.Run(context.Background(), in)
+	go func() {
+		for i := 0; i < items; i++ {
+			in <- i
+		}
+		close(in)
+	}()
+	stop := make(chan struct{})
+	actuated := make(chan struct{})
+	go func() {
+		defer close(actuated)
+		batches := []int{1, 2, 8, 32}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				if err := f.SetBatch(batches[i%len(batches)]); err != nil {
+					t.Errorf("SetBatch: %v", err)
+					return
+				}
+			} else {
+				if err := f.SetWorkers(1 + i%4); err != nil {
+					t.Errorf("SetWorkers: %v", err)
+					return
+				}
+			}
+			runtime.Gosched()
+		}
+	}()
+	seen := 0
+	for v := range out {
+		if v.(int) != seen {
+			t.Fatalf("output %d: got %v, want %d (dropped or reordered under concurrent actuation)", seen, v, seen)
+		}
+		seen++
+	}
+	close(stop)
+	<-actuated
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	if seen != items {
+		t.Fatalf("lost tasks: %d of %d", seen, items)
 	}
 }

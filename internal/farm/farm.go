@@ -25,7 +25,9 @@ import (
 	"time"
 
 	"gridpipe/internal/conc"
+	"gridpipe/internal/conc/steal"
 	"gridpipe/internal/pipeline"
+	"gridpipe/internal/ring"
 )
 
 // Func is the worker computation. It must be safe for concurrent
@@ -38,6 +40,67 @@ type Func func(ctx context.Context, v any) (any, error)
 // construct a value of this type, so the assertion never misfires on
 // a task that happens to be a *[]any.
 type taskSlab *[]any
+
+// unit is one completed result (or a bare bookkeeping marker) queued
+// from an executor task to the farm's drainer: send marks a deliverable
+// value, release marks the last unit of its submission — the drainer
+// frees the limiter token there, so backpressure releases only when the
+// consumer has actually accepted the work.
+type unit struct {
+	v       any
+	send    bool
+	release bool
+}
+
+// unitQueue is the unordered counterpart of pipeline's result sink:
+// executor tasks put completed units without ever blocking, the drainer
+// pulls them in completion order via next, blocking there instead.
+type unitQueue struct {
+	mu     sync.Mutex
+	q      ring.FIFO[unit]
+	closed bool
+	notify chan struct{}
+}
+
+func (s *unitQueue) put(u unit) {
+	s.mu.Lock()
+	s.q.Push(u)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// close marks the stream complete; call only after every outstanding
+// put has happened.
+func (s *unitQueue) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// next blocks until a unit is available (or the queue is closed and
+// drained).
+func (s *unitQueue) next() (unit, bool) {
+	for {
+		s.mu.Lock()
+		if u, ok := s.q.Pop(); ok {
+			s.mu.Unlock()
+			return u, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return unit{}, false
+		}
+		<-s.notify
+	}
+}
 
 // Options tune a Farm.
 type Options struct {
@@ -57,6 +120,10 @@ type Options struct {
 	// before being dispatched anyway (default pipeline.DefaultLinger;
 	// only meaningful with Batch > 1).
 	Linger time.Duration
+	// DisableExecutor runs the farm on dedicated workers instead of the
+	// shared work-stealing executor — the pre-executor wiring, kept as
+	// the oracle half of the executor equivalence property.
+	DisableExecutor bool
 }
 
 // Stats is a snapshot of the farm's counters.
@@ -134,18 +201,24 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 				panic(fmt.Sprintf("farm: internal construction error: %v", err))
 			}
 		}
+		if f.opts.DisableExecutor {
+			pl.DisableExecutor()
+		}
 		f.pl = pl
 		f.mu.Unlock()
 		return pl.Run(ctx, inputs)
 	}
 
-	// Unordered mode: a resizable pool of persistent workers. The
-	// option fields are captured under the lock: a concurrent
-	// SetWorkers may rewrite opts.Workers the instant Run releases it
-	// (the limiter, not the pool buffer, bounds concurrency anyway).
+	// Unordered mode: submissions run on the shared work-stealing
+	// executor (or, DisableExecutor, a dedicated resizable pool of
+	// persistent workers). The option fields are captured under the
+	// lock: a concurrent SetWorkers may rewrite opts.Workers the
+	// instant Run releases it (the limiter, not the pool buffer,
+	// bounds concurrency anyway).
 	f.limit = conc.NewLimiter(f.opts.Workers)
 	outBuf, poolBuf := f.opts.Buffer, 2*f.opts.Workers
 	linger := f.opts.Linger
+	noExec := f.opts.DisableExecutor
 	f.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -175,46 +248,127 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 		*slab = (*slab)[:0]
 		slabs.Put(slab)
 	}
-	pool := conc.NewPool(f.limit, poolBuf, func(x any) {
-		t0 := time.Now()
-		slab, ok := x.(taskSlab)
-		if !ok {
-			r, err := f.fn(ctx, x)
-			f.meter.RecordN(1, time.Since(t0))
-			if err != nil {
-				fail(fmt.Errorf("farm: %w", err))
+
+	// submit hands one task (or slab) to a worker; finish waits for the
+	// in-flight work to drain, called once by the dispatcher before the
+	// output closes.
+	var submit func(x any)
+	var finish func()
+	if noExec {
+		pool := conc.NewPool(f.limit, poolBuf, func(x any) {
+			t0 := time.Now()
+			slab, ok := x.(taskSlab)
+			if !ok {
+				r, err := f.fn(ctx, x)
+				f.meter.RecordN(1, time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("farm: %w", err))
+					return
+				}
+				select {
+				case out <- r:
+				case <-ctx.Done():
+				}
 				return
 			}
-			select {
-			case out <- r:
-			case <-ctx.Done():
+			done := 0
+			for _, v := range *slab {
+				r, err := f.fn(ctx, v)
+				done++
+				if err != nil {
+					f.meter.RecordN(int64(done), time.Since(t0))
+					fail(fmt.Errorf("farm: %w", err))
+					recycle(slab)
+					return
+				}
+				select {
+				case out <- r:
+				case <-ctx.Done():
+					f.meter.RecordN(int64(done), time.Since(t0))
+					recycle(slab)
+					return
+				}
 			}
-			return
+			f.meter.RecordN(int64(done), time.Since(t0))
+			recycle(slab)
+		})
+		submit = pool.Submit
+		finish = pool.Close
+	} else {
+		// Executor mode: tasks never block (see internal/conc/steal) —
+		// results land in a completion-order queue and the farm's
+		// drainer goroutine owns the blocking sends plus the limiter
+		// release, so a slow consumer backpressures the dispatcher
+		// without parking a shared worker.
+		ex := steal.Default()
+		var inFlight sync.WaitGroup
+		q := &unitQueue{notify: make(chan struct{}, 1)}
+		drainDone := make(chan struct{})
+		go func() { // drainer
+			defer close(drainDone)
+			dead := false // cancellation truncates the stream
+			for {
+				u, ok := q.next()
+				if !ok {
+					return
+				}
+				if u.send && !dead {
+					select {
+					case out <- u.v:
+					case <-ctx.Done():
+						dead = true
+					}
+				}
+				if u.release {
+					f.limit.Release()
+					inFlight.Done()
+				}
+			}
+		}()
+		taskFn := func(x any) {
+			t0 := time.Now()
+			slab, ok := x.(taskSlab)
+			if !ok {
+				r, err := f.fn(ctx, x)
+				f.meter.RecordN(1, time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("farm: %w", err))
+					q.put(unit{release: true})
+					return
+				}
+				q.put(unit{v: r, send: true, release: true})
+				return
+			}
+			done, n := 0, len(*slab)
+			for i, v := range *slab {
+				r, err := f.fn(ctx, v)
+				done++
+				if err != nil {
+					f.meter.RecordN(int64(done), time.Since(t0))
+					fail(fmt.Errorf("farm: %w", err))
+					recycle(slab)
+					q.put(unit{release: true})
+					return
+				}
+				q.put(unit{v: r, send: true, release: i == n-1})
+			}
+			f.meter.RecordN(int64(done), time.Since(t0))
+			recycle(slab)
 		}
-		done := 0
-		for _, v := range *slab {
-			r, err := f.fn(ctx, v)
-			done++
-			if err != nil {
-				f.meter.RecordN(int64(done), time.Since(t0))
-				fail(fmt.Errorf("farm: %w", err))
-				recycle(slab)
-				return
-			}
-			select {
-			case out <- r:
-			case <-ctx.Done():
-				f.meter.RecordN(int64(done), time.Since(t0))
-				recycle(slab)
-				return
-			}
+		submit = func(x any) {
+			f.limit.Acquire()
+			inFlight.Add(1)
+			ex.Submit(steal.Task{Fn: taskFn, Arg: x})
 		}
-		f.meter.RecordN(int64(done), time.Since(t0))
-		recycle(slab)
-	})
+		finish = func() {
+			inFlight.Wait()
+			q.close()
+			<-drainDone
+		}
+	}
 	go func() {
 		defer func() {
-			pool.Close()
+			finish()
 			if firstErr == nil && ctx.Err() != nil {
 				firstErr = ctx.Err()
 			}
@@ -231,7 +385,7 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 		defer timer.Stop()
 		var timerC <-chan time.Time
 		flush := func() {
-			pool.Submit(cur)
+			submit(cur)
 			cur = nil
 			timerC = nil
 		}
@@ -247,7 +401,7 @@ func (f *Farm) Run(ctx context.Context, inputs <-chan any) (<-chan any, <-chan e
 					}
 					batch := int(f.batch.Load())
 					if batch <= 1 {
-						pool.Submit(v)
+						submit(v)
 						continue
 					}
 					if p, _ := slabs.Get().(taskSlab); p != nil {

@@ -53,6 +53,18 @@ type PipelineSpec struct {
 	// grains divide BatchOverhead and per-transfer link latency across
 	// Grain items.
 	Grain int
+	// Grains, when non-empty, gives every stage boundary its own batch
+	// size: Grains[i] is the grain of the batches entering stage i
+	// (Grains[0] = the head batcher's grain). Length must equal the
+	// stage count. It overrides Grain; empty means the single
+	// pipeline-wide Grain, whose arithmetic stays bit-identical to
+	// earlier releases. This is the model-side mirror of the live
+	// runtime's EnableBatchEdges.
+	Grains []int
+	// BatchOverheads, when non-empty, gives every stage boundary its
+	// own per-batch cost (BatchOverheads[i] entering stage i),
+	// overriding BatchOverhead. Length must equal the stage count.
+	BatchOverheads []float64
 }
 
 // EffGrain returns the batch size the model charges: Grain, floored
@@ -64,18 +76,65 @@ func (p PipelineSpec) EffGrain() float64 {
 	return float64(p.Grain)
 }
 
+// EffGrainAt returns the batch size the model charges at stage i's
+// input boundary: the per-boundary vector entry when Grains is set,
+// otherwise the single pipeline-wide EffGrain — so a vectorless spec
+// reproduces the scalar arithmetic operand-for-operand.
+func (p PipelineSpec) EffGrainAt(i int) float64 {
+	if len(p.Grains) == 0 {
+		return p.EffGrain()
+	}
+	if g := p.Grains[i]; g > 1 {
+		return float64(g)
+	}
+	return 1
+}
+
+// OverheadAt returns the per-batch cost at stage i's input boundary,
+// falling back to the pipeline-wide BatchOverhead like EffGrainAt.
+func (p PipelineSpec) OverheadAt(i int) float64 {
+	if len(p.BatchOverheads) == 0 {
+		return p.BatchOverhead
+	}
+	return p.BatchOverheads[i]
+}
+
 // Batched reports whether the batch-aware cost terms are live: any
 // spec with a grain above 1 or a nonzero per-batch overhead. An
 // unbatched spec takes the legacy arithmetic paths exactly, so its
 // predictions stay bit-identical to earlier releases.
 func (p PipelineSpec) Batched() bool {
-	return p.Grain > 1 || p.BatchOverhead > 0
+	if p.Grain > 1 || p.BatchOverhead > 0 {
+		return true
+	}
+	for _, g := range p.Grains {
+		if g > 1 {
+			return true
+		}
+	}
+	for _, h := range p.BatchOverheads {
+		if h > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // AtGrain returns a copy of the spec evaluated at batch size n — the
-// grain axis of the scheduler's search (see sched.SearchGrain).
+// grain axis of the scheduler's search (see sched.SearchGrain). Any
+// per-boundary vector is dropped: the copy is uniformly grained.
 func (p PipelineSpec) AtGrain(n int) PipelineSpec {
 	p.Grain = n
+	p.Grains = nil
+	return p
+}
+
+// AtGrains returns a copy of the spec evaluated at the per-boundary
+// grain vector (grains[i] entering stage i) — the per-edge grain axis
+// of the scheduler's search (see sched.SearchGrainVector). The slice
+// is copied, so callers may reuse their buffer across candidates.
+func (p PipelineSpec) AtGrains(grains []int) PipelineSpec {
+	p.Grains = append([]int(nil), grains...)
 	return p
 }
 
@@ -152,6 +211,22 @@ func (p PipelineSpec) Validate() error {
 	}
 	if p.Grain < 0 {
 		return fmt.Errorf("model: negative grain %d", p.Grain)
+	}
+	if len(p.Grains) != 0 && len(p.Grains) != len(p.Stages) {
+		return fmt.Errorf("model: grain vector has %d entries, spec has %d stages", len(p.Grains), len(p.Stages))
+	}
+	for i, g := range p.Grains {
+		if g < 0 {
+			return fmt.Errorf("model: negative grain %d at boundary %d", g, i)
+		}
+	}
+	if len(p.BatchOverheads) != 0 && len(p.BatchOverheads) != len(p.Stages) {
+		return fmt.Errorf("model: batch-overhead vector has %d entries, spec has %d stages", len(p.BatchOverheads), len(p.Stages))
+	}
+	for i, h := range p.BatchOverheads {
+		if h < 0 {
+			return fmt.Errorf("model: negative batch overhead %v at boundary %d", h, i)
+		}
 	}
 	if p.Topo != nil {
 		if err := p.Topo.Validate(); err != nil {

@@ -92,17 +92,18 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 	// Per-node busy seconds per item. At grain gr, every batch pays
 	// the fixed boundary overhead h once, so each item carries h/gr of
 	// it on top of its own work — the paper's amortized-overhead term.
-	// The unbatched case keeps the legacy expression verbatim so its
-	// predictions stay bit-identical.
+	// Per-boundary vectors charge each stage at its own input grain;
+	// scalar specs hit the fallback accessors, which return the exact
+	// operands the legacy expression used, so those predictions stay
+	// bit-identical. The unbatched case skips the term entirely.
 	batched := spec.Batched()
-	gr := spec.EffGrain()
 	busy := s.busyFor(g.NumNodes())
 	for i, st := range spec.Stages {
 		replicas := m.Assign[i]
 		share := 1 / float64(len(replicas))
 		work := st.Work
 		if batched {
-			work += spec.BatchOverhead / gr
+			work += spec.OverheadAt(i) / spec.EffGrainAt(i)
 		}
 		for _, n := range replicas {
 			node := g.Node(n)
@@ -117,7 +118,7 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 	// fan, and per-pair additions happen in the same program order as
 	// the old map accumulation, so the sums are bit-identical.
 	s.flows = s.flows[:0]
-	addFlow := func(from, to []grid.NodeID, bytes float64) {
+	addFlow := func(from, to []grid.NodeID, bytes, gr float64) {
 		if bytes == 0 {
 			return
 		}
@@ -125,31 +126,34 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 		for _, a := range from {
 			for _, b := range to {
 				if a != b {
-					s.addFlow(a, b, share)
+					s.addFlow(a, b, share, gr)
 				}
 			}
 		}
 	}
 	// Data flows follow the stage graph: source → entry, one flow per
 	// edge (a split duplicates its payload onto every out-edge, a
-	// merge's in-edges each carry their own part), exit → sink. A nil
-	// Topo is the implicit chain — the Linearize identity — walked
-	// directly so the scheduler's search loops (one Predict per
-	// candidate mapping) stay free of per-call graph allocations.
+	// merge's in-edges each carry their own part), exit → sink. Each
+	// flow travels at the grain of the boundary it crosses — the
+	// receiving stage's input grain, with the exit → sink flow at the
+	// exit's own grain. A nil Topo is the implicit chain — the
+	// Linearize identity — walked directly so the scheduler's search
+	// loops (one Predict per candidate mapping) stay free of per-call
+	// graph allocations.
 	exit := len(spec.Stages) - 1 // the structural contract pins entry=0, exit=n-1
 	source := []grid.NodeID{spec.Source}
 	sink := []grid.NodeID{spec.Sink}
-	addFlow(source, m.Assign[0], spec.InBytes)
+	addFlow(source, m.Assign[0], spec.InBytes, spec.EffGrainAt(0))
 	if spec.Topo == nil {
 		for i := 0; i+1 < len(spec.Stages); i++ {
-			addFlow(m.Assign[i], m.Assign[i+1], spec.Stages[i].OutBytes)
+			addFlow(m.Assign[i], m.Assign[i+1], spec.Stages[i].OutBytes, spec.EffGrainAt(i+1))
 		}
 	} else {
 		for _, ed := range spec.Topo.Edges {
-			addFlow(m.Assign[ed.From], m.Assign[ed.To], ed.Bytes)
+			addFlow(m.Assign[ed.From], m.Assign[ed.To], ed.Bytes, spec.EffGrainAt(ed.To))
 		}
 	}
-	addFlow(m.Assign[exit], sink, spec.Stages[exit].OutBytes)
+	addFlow(m.Assign[exit], sink, spec.Stages[exit].OutBytes, spec.EffGrainAt(exit))
 
 	// Bounds.
 	tp := math.Inf(1)
@@ -170,13 +174,15 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 	// per gr items, so every item also carries Latency/gr of the
 	// per-message link latency — small batches on a high-latency link
 	// are charged for it, which is exactly the amortization the grain
-	// search trades against batching delay.
+	// search trades against batching delay. Each flow carries the grain
+	// of its boundary (the finest one, if several flows merged onto the
+	// same node pair).
 	linkBound := math.Inf(1)
 	for _, f := range s.flows {
 		lk := g.Link(f.a, f.b)
 		var bound float64
 		if batched {
-			bound = 1 / (f.bytes/lk.Bandwidth + lk.Latency/gr)
+			bound = 1 / (f.bytes/lk.Bandwidth + lk.Latency/f.gr)
 		} else {
 			bound = lk.Bandwidth / f.bytes
 		}
@@ -209,7 +215,7 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 			node := g.Node(n)
 			work := st.Work
 			if batched {
-				work += spec.BatchOverhead / gr
+				work += spec.OverheadAt(i) / spec.EffGrainAt(i)
 			}
 			lat += work / (node.Speed * (1 - loadOf(n)))
 			prev, prevBytes = n, st.OutBytes
@@ -243,7 +249,7 @@ func PredictInto(g *grid.Grid, spec PipelineSpec, m Mapping, loads []float64, s 
 			node := g.Node(n)
 			work := st.Work
 			if batched {
-				work += spec.BatchOverhead / gr
+				work += spec.OverheadAt(i) / spec.EffGrainAt(i)
 			}
 			ready[i] = t + work/(node.Speed*(1-loadOf(n)))
 		}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"gridpipe/internal/conc"
+	"gridpipe/internal/conc/steal"
 	"gridpipe/internal/ring"
 )
 
@@ -53,12 +54,18 @@ const DefaultLinger = time.Millisecond
 // stage boundary together. seq is the sequence number of items[0];
 // idx counts batches 0,1,2,… in head order (the reorder key). refs is
 // the number of consumers still holding the slab — a broadcast hands
-// the same batch to every out-edge.
+// the same batch to every out-edge. eager marks a batch flushed by
+// linger, end-of-input, or an idle input: every stage propagates it,
+// and a coarsening per-edge boundary (edgegrain.go) flushes its
+// accumulator on seeing it instead of waiting to fill — which keeps
+// the head's linger the dominant batching wait even when a downstream
+// boundary re-slabs to a larger grain.
 type batch struct {
 	idx   int
 	seq   int
 	items []any
 	refs  int32
+	eager bool
 }
 
 // newBatch takes a slab from the pool (or allocates the first time a
@@ -70,6 +77,7 @@ func (p *Pipeline) newBatch(idx, seq int) *batch {
 	}
 	b.idx, b.seq = idx, seq
 	b.items = b.items[:0]
+	b.eager = false
 	atomic.StoreInt32(&b.refs, 1)
 	return b
 }
@@ -122,6 +130,13 @@ func (p *Pipeline) SetGrain(n int) error {
 		return fmt.Errorf("pipeline: SetGrain without EnableBatch")
 	}
 	p.grain.Store(int64(n))
+	// On a per-edge pipeline a single global SetGrain means "uniform":
+	// every boundary moves together, which is always a valid vector.
+	if p.edgeGrains != nil {
+		for b := range p.edgeGrains {
+			p.edgeGrains[b].Store(int64(n))
+		}
+	}
 	return nil
 }
 
@@ -166,7 +181,8 @@ func (p *Pipeline) runBatched(ctx context.Context, inputs <-chan any) (<-chan an
 		timer.Stop()
 		defer timer.Stop()
 		var timerC <-chan time.Time
-		flush := func() bool {
+		flush := func(eager bool) bool {
+			cur.eager = eager
 			select {
 			case head <- cur:
 			case <-ctx.Done():
@@ -182,7 +198,7 @@ func (p *Pipeline) runBatched(ctx context.Context, inputs <-chan any) (<-chan an
 			case v, ok := <-inputs:
 				if !ok {
 					if cur != nil {
-						flush()
+						flush(true)
 					}
 					return
 				}
@@ -193,14 +209,18 @@ func (p *Pipeline) runBatched(ctx context.Context, inputs <-chan any) (<-chan an
 				}
 				cur.items = append(cur.items, v)
 				seq++
-				if len(cur.items) >= int(p.grain.Load()) {
+				if len(cur.items) >= int(p.headGrain()) {
 					timer.Stop()
-					if !flush() {
+					// A grain-full flush with nothing else queued may be
+					// the last traffic for a while; marking it eager lets
+					// coarsening downstream boundaries drain instead of
+					// parking its items until the next input burst.
+					if !flush(len(inputs) == 0) {
 						return
 					}
 				}
 			case <-timerC:
-				if !flush() {
+				if !flush(true) {
 					return
 				}
 			case <-ctx.Done():
@@ -257,8 +277,18 @@ func (p *Pipeline) runBatched(ctx context.Context, inputs <-chan any) (<-chan an
 			go p.broadcastBatched(ctx, spread, outs, &wg)
 			out = spread
 		}
+		// A bridge edge with its own grain (EnableBatchEdges) re-slabs at
+		// the producing stage's sink; bridge edges always leave a
+		// single-out stage, so a split never re-slabs (its consumers
+		// share one slab and must agree on its shape).
+		var edgeGrain *atomic.Int64
+		if len(outEdges[i]) == 1 {
+			if ei := outEdges[i][0]; p.regrain != nil && p.regrain[ei] {
+				edgeGrain = &p.edgeGrains[1+ei]
+			}
+		}
 		wg.Add(1)
-		go p.runStageBatched(ctx, i, in, out, &wg, fail)
+		go p.runStageBatched(ctx, i, in, out, edgeGrain, &wg, fail)
 	}
 
 	results := make(chan any)
@@ -297,11 +327,26 @@ func (p *Pipeline) runBatched(ctx context.Context, inputs <-chan any) (<-chan an
 // The worker that completes a batch drains everything now emittable,
 // so no separate reorder goroutine (and no done-channel hop) sits on
 // the boundary; see itemSink for the same shape per item.
+//
+// When the stage's out-edge is a regraining boundary (EnableBatchEdges
+// on a bridge edge), the sink additionally re-slabs the ordered stream
+// to the edge's own grain: items of each in-order batch are appended
+// to an accumulator that flushes whenever it reaches the edge grain,
+// when an eager batch passes (linger/end-of-input pressure propagated
+// from the head), and at stream close (flushTail). The re-slabbed
+// stream gets fresh contiguous indices, so the downstream reorder ring
+// sees exactly the 0,1,2,… it requires.
 type batchSink struct {
 	ctx     context.Context
 	out     chan<- *batch
+	p       *Pipeline
+	grain   *atomic.Int64 // non-nil: re-slab to this edge grain
 	mu      sync.Mutex
 	pending ring.Reorder[*batch]
+	acc     *batch // regrain accumulator (guarded by mu)
+	nextIdx int    // next re-slabbed batch index on this edge
+	nextSeq int    // first sequence number of the next re-slabbed batch
+	dead    bool   // see itemSink.dead: truncate, never puncture
 }
 
 func (s *batchSink) put(b *batch) {
@@ -313,32 +358,120 @@ func (s *batchSink) put(b *batch) {
 		if !ok {
 			return
 		}
-		select {
-		case s.out <- nb:
-		case <-s.ctx.Done():
-			return
+		if s.dead {
+			s.p.releaseBatch(nb)
+			continue
 		}
+		s.emit(nb)
 	}
 }
 
-// runStageBatched dispatches whole batches to the stage's persistent
-// worker pool: one limiter acquire, one channel hop, and one reorder
+// emit hands one in-order batch downstream — directly, or through the
+// re-slab accumulator when the out-edge regrains. Runs under s.mu and
+// owns the batch either way; false (also latched into s.dead) means
+// the context cancelled mid-send.
+func (s *batchSink) emit(nb *batch) bool {
+	ok := s.deliver(nb)
+	if !ok {
+		s.dead = true
+	}
+	return ok
+}
+
+func (s *batchSink) deliver(nb *batch) bool {
+	if s.grain == nil {
+		select {
+		case s.out <- nb:
+			return true
+		case <-s.ctx.Done():
+			s.p.releaseBatch(nb)
+			return false
+		}
+	}
+	return s.regrain(nb)
+}
+
+// regrain folds one in-order batch into the accumulator, flushing at
+// the edge grain and on eager pressure. Runs under s.mu; false means
+// the context cancelled mid-send.
+func (s *batchSink) regrain(nb *batch) bool {
+	tgt := int(s.grain.Load())
+	if tgt < 1 {
+		tgt = 1
+	}
+	eager := nb.eager
+	for _, v := range nb.items {
+		if s.acc == nil {
+			s.acc = s.p.newBatch(s.nextIdx, s.nextSeq)
+		}
+		s.acc.items = append(s.acc.items, v)
+		if len(s.acc.items) >= tgt {
+			if !s.flushAcc(eager) {
+				s.p.releaseBatch(nb)
+				return false
+			}
+		}
+	}
+	s.p.releaseBatch(nb)
+	if eager && s.acc != nil {
+		return s.flushAcc(true)
+	}
+	return true
+}
+
+// flushAcc emits the accumulator downstream. Runs under s.mu.
+func (s *batchSink) flushAcc(eager bool) bool {
+	s.acc.eager = eager
+	s.nextIdx++
+	s.nextSeq += len(s.acc.items)
+	b := s.acc
+	s.acc = nil
+	select {
+	case s.out <- b:
+		return true
+	case <-s.ctx.Done():
+		s.p.releaseBatch(b)
+		return false
+	}
+}
+
+// flushTail drains a partial accumulator at stream close, so an item
+// count not divisible by the edge grain still delivers every item. A
+// dead sink drops the tail instead — it already truncated the stream.
+func (s *batchSink) flushTail() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.acc == nil || len(s.acc.items) == 0 {
+		return
+	}
+	if s.dead {
+		s.p.releaseBatch(s.acc)
+		s.acc = nil
+		return
+	}
+	if !s.flushAcc(true) {
+		s.dead = true
+	}
+}
+
+// runStageBatched dispatches whole batches — as tasks on the shared
+// work-stealing executor, or (executor-off) to a dedicated persistent
+// worker pool: one limiter acquire, one handoff, and one reorder
 // operation per batch, with the stage function applied to each item in
 // sequence order so ordered output is identical to the per-item path.
-func (p *Pipeline) runStageBatched(ctx context.Context, i int, in <-chan *batch, out chan<- *batch, wg *sync.WaitGroup, fail func(error)) {
+// edgeGrain, when non-nil, makes the sink re-slab the stage's out-edge
+// to that grain (see batchSink).
+func (p *Pipeline) runStageBatched(ctx context.Context, i int, in <-chan *batch, out chan<- *batch, edgeGrain *atomic.Int64, wg *sync.WaitGroup, fail func(error)) {
 	defer wg.Done()
 	lim := p.limits[i]
 	met := p.meters[i]
 	fn := p.stages[i].Fn
 	name := p.stages[i].Name
 
-	poolCap := 2 * p.stages[i].Replicas
-	if poolCap < 8 {
-		poolCap = 8
-	}
-	sink := batchSink{ctx: ctx, out: out}
-	pool := conc.NewPool(lim, poolCap, func(b *batch) {
+	sink := batchSink{ctx: ctx, out: out, p: p, grain: edgeGrain}
+	process := func(b *batch) {
 		ob := p.newBatch(b.idx, b.seq)
+		ob.eager = b.eager
 		t0 := time.Now()
 		for k, v := range b.items {
 			r, err := fn(ctx, v)
@@ -353,7 +486,87 @@ func (p *Pipeline) runStageBatched(ctx context.Context, i int, in <-chan *batch,
 		met.RecordN(int64(len(ob.items)), time.Since(t0))
 		p.releaseBatch(b)
 		sink.put(ob)
-	})
+	}
+
+	if ex := p.executor(); ex != nil {
+		// Shared-executor mode: the pooled slab itself is the task
+		// argument, so submission boxes nothing. As in runStage,
+		// executor tasks never block — a processed batch lands in a
+		// taskSink ring and this stage's drainer goroutine owns the
+		// ordered (and possibly re-slabbing) sends plus the limiter
+		// release, so a full downstream boundary backpressures the
+		// dispatcher without ever parking a shared worker.
+		var inFlight sync.WaitGroup
+		tsink := &taskSink{notify: make(chan struct{}, 1)}
+		wg.Add(1)
+		go func() { // drainer
+			defer wg.Done()
+			for {
+				_, v, ok := tsink.next()
+				if !ok {
+					return
+				}
+				if ob, _ := v.(*batch); ob != nil { // nil = failed-task tombstone
+					sink.mu.Lock()
+					if sink.dead {
+						p.releaseBatch(ob)
+					} else {
+						sink.emit(ob)
+					}
+					sink.mu.Unlock()
+				}
+				lim.Release()
+				inFlight.Done()
+			}
+		}()
+		taskFn := func(arg any) {
+			b := arg.(*batch)
+			idx := b.idx
+			ob := p.newBatch(b.idx, b.seq)
+			ob.eager = b.eager
+			t0 := time.Now()
+			for k, v := range b.items {
+				r, err := fn(ctx, v)
+				if err != nil {
+					fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, b.seq+k, err))
+					p.releaseBatch(ob)
+					p.releaseBatch(b)
+					tsink.put(idx, (*batch)(nil))
+					return
+				}
+				ob.items = append(ob.items, r)
+			}
+			met.RecordN(int64(len(ob.items)), time.Since(t0))
+			p.releaseBatch(b)
+			tsink.put(idx, ob)
+		}
+		for {
+			var b *batch
+			var ok bool
+			select {
+			case b, ok = <-in:
+			case <-ctx.Done():
+				ok = false
+			}
+			if !ok {
+				break
+			}
+			lim.Acquire()
+			inFlight.Add(1)
+			ex.Submit(steal.Task{Fn: taskFn, Arg: b})
+		}
+		inFlight.Wait()
+		tsink.close()
+		sink.flushTail()
+		close(out)
+		return
+	}
+
+	poolCap := 2 * p.stages[i].Replicas
+	if poolCap < 8 {
+		poolCap = 8
+	}
+	pool := conc.NewPool(lim, poolCap, process)
 	for {
 		var b *batch
 		var ok bool
@@ -368,6 +581,7 @@ func (p *Pipeline) runStageBatched(ctx context.Context, i int, in <-chan *batch,
 		pool.Submit(b)
 	}
 	pool.Close()
+	sink.flushTail()
 	close(out)
 }
 
@@ -394,6 +608,7 @@ func (p *Pipeline) zipJoinBatched(ctx context.Context, ins []<-chan *batch, out 
 				}
 				if ob == nil {
 					ob = p.newBatch(b.idx, b.seq)
+					ob.eager = b.eager
 					for range b.items {
 						ob.items = append(ob.items, make([]any, len(ins)))
 					}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"gridpipe/internal/conc"
+	"gridpipe/internal/conc/steal"
 	"gridpipe/internal/ring"
 	"gridpipe/internal/topo"
 )
@@ -85,6 +86,58 @@ type Pipeline struct {
 	grain   atomic.Int64
 	linger  atomic.Int64 // nanoseconds
 	slabs   sync.Pool    // *batch
+
+	// Per-boundary grain state (see edgegrain.go). Non-nil edgeGrains
+	// means EnableBatchEdges: one atomic grain per boundary (0 = head,
+	// 1+ei = edge ei), regrain marking the bridge edges whose sinks
+	// re-slab, actBounds listing the independently walkable boundaries.
+	edgeGrains []atomic.Int64
+	regrain    []bool
+	actBounds  []int
+
+	// Shared work-stealing executor state. Stage work runs as tasks on
+	// the process-wide steal.Default() worker set (replica counts act
+	// as in-flight limits); exec overrides the executor, noExec reverts
+	// to the historical dedicated per-stage pools.
+	exec   *steal.Executor
+	noExec bool
+
+	// carriers pools the *seqItem boxes the unbatched executor path
+	// submits as task arguments, so the per-item hot path allocates
+	// nothing in steady state.
+	carriers sync.Pool
+}
+
+// UseExecutor points the pipeline at a specific work-stealing executor
+// (tests and benchmarks isolate worker sets this way). Call before
+// Run; nil reselects the process-wide default.
+func (p *Pipeline) UseExecutor(e *steal.Executor) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.exec = e
+	p.noExec = false
+}
+
+// DisableExecutor reverts the pipeline to dedicated per-stage worker
+// pools — the pre-executor wiring, kept as the oracle half of the
+// executor-on == executor-off equivalence property. Call before Run.
+func (p *Pipeline) DisableExecutor() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.exec = nil
+	p.noExec = true
+}
+
+// executor resolves the worker set Run dispatches stage tasks to; nil
+// means dedicated per-stage pools.
+func (p *Pipeline) executor() *steal.Executor {
+	if p.noExec {
+		return nil
+	}
+	if p.exec != nil {
+		return p.exec
+	}
+	return steal.Default()
 }
 
 // New validates the stage list and builds a linear pipeline: stage i
@@ -346,12 +399,20 @@ type itemSink struct {
 	out     chan<- seqItem
 	mu      sync.Mutex
 	pending ring.Reorder[any]
+	// dead latches after the first in-order send lost to cancellation:
+	// a select with both the send and ctx.Done ready picks randomly, so
+	// without the latch a sink could drop item N yet deliver N+1 —
+	// cancellation must truncate the ordered stream, never puncture it.
+	dead bool
 }
 
 func (s *itemSink) put(seq int, v any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pending.Put(seq, v)
+	if s.dead {
+		return
+	}
 	for {
 		seq2, v2, ok := s.pending.PopNext()
 		if !ok {
@@ -360,22 +421,174 @@ func (s *itemSink) put(seq int, v any) {
 		select {
 		case s.out <- seqItem{seq2, v2}:
 		case <-s.ctx.Done():
+			s.dead = true
 			return
 		}
 	}
 }
 
-// runStage dispatches items of stage i to a pool of persistent workers
-// bounded by the stage's replica limit, and restores output order.
-// Workers are spawned lazily up to the limit's high-water mark and
-// live until the stage drains, so steady-state dispatch costs no
-// goroutine spawn and no closure allocation per item.
+// dropped is the tombstone a failed task leaves in its sink so the
+// sequence stays gap-free while cancellation unwinds.
+type dropped struct{}
+
+// taskSink is the executor-mode counterpart of itemSink/batchSink:
+// completed tasks put their result into the reorder ring without ever
+// blocking (executor workers must stay runnable — see runStage), and
+// the stage's drainer goroutine pulls results in sequence order via
+// next, blocking there instead. notify is a buffered(1) edge trigger:
+// a put that finds it full loses nothing, because the drainer re-scans
+// the ring before sleeping.
+type taskSink struct {
+	mu      sync.Mutex
+	pending ring.Reorder[any]
+	closed  bool
+	notify  chan struct{}
+}
+
+func (s *taskSink) put(seq int, v any) {
+	s.mu.Lock()
+	s.pending.Put(seq, v)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// close marks the stream complete; next returns false once the ring is
+// empty. Call only after every outstanding put has happened.
+func (s *taskSink) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// next blocks until the next in-sequence result is available (or the
+// sink is closed and drained).
+func (s *taskSink) next() (int, any, bool) {
+	for {
+		s.mu.Lock()
+		if seq, v, ok := s.pending.PopNext(); ok {
+			s.mu.Unlock()
+			return seq, v, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return 0, nil, false
+		}
+		<-s.notify
+	}
+}
+
+// runStage dispatches items of stage i to the shared work-stealing
+// executor (or, executor-off, to a dedicated pool of persistent
+// workers) bounded by the stage's replica limit, and restores output
+// order. Either way, steady-state dispatch costs no goroutine spawn
+// and no closure allocation per item.
 func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out chan<- seqItem, wg *sync.WaitGroup, fail func(error)) {
 	defer wg.Done()
 	lim := p.limits[i]
 	met := p.meters[i]
 	fn := p.stages[i].Fn
 	name := p.stages[i].Name
+
+	sink := itemSink{ctx: ctx, out: out}
+	process := func(it seqItem) {
+		t0 := time.Now()
+		v, err := fn(ctx, it.v)
+		met.Record(time.Since(t0))
+		if err != nil {
+			fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, it.seq, err))
+			return
+		}
+		sink.put(it.seq, v)
+	}
+
+	if ex := p.executor(); ex != nil {
+		// Shared-executor mode: the replica limit is an in-flight
+		// bound, acquired before the item is handed to the fleet and
+		// released when the drainer hands the result downstream. Items
+		// travel in pooled carriers so boxing them into the task's any
+		// costs nothing in steady state.
+		//
+		// Executor tasks must never block: with a shared worker set a
+		// task stuck in a channel send can occupy the worker that would
+		// have run the downstream task draining that very channel (on a
+		// 1-worker set this deadlocks outright). So tasks finish into
+		// the sink's reorder ring — a mutex-guarded put, no send — and
+		// this stage's drainer goroutine, which may block freely, owns
+		// the ordered sends and the limiter release. Releasing only on
+		// downstream accept keeps end-to-end backpressure: at most
+		// Replicas items sit computed-but-undelivered per stage.
+		var inFlight sync.WaitGroup
+		sink := &taskSink{notify: make(chan struct{}, 1)}
+		wg.Add(1)
+		go func() { // drainer: the only executor-mode blocking point
+			defer wg.Done()
+			dead := false // see itemSink.dead: truncate, never puncture
+			for {
+				seq, v, ok := sink.next()
+				if !ok {
+					return
+				}
+				if _, gone := v.(dropped); !gone && !dead {
+					select {
+					case out <- seqItem{seq, v}:
+					case <-ctx.Done():
+						dead = true
+					}
+				}
+				lim.Release()
+				inFlight.Done()
+			}
+		}()
+		taskFn := func(arg any) {
+			c := arg.(*seqItem)
+			it := *c
+			*c = seqItem{}
+			p.carriers.Put(c)
+			t0 := time.Now()
+			v, err := fn(ctx, it.v)
+			met.Record(time.Since(t0))
+			if err != nil {
+				fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, it.seq, err))
+				// A tombstone keeps the sequence gap-free so the
+				// drainer can keep releasing in-flight tokens while
+				// the cancellation unwinds.
+				v = dropped{}
+			}
+			sink.put(it.seq, v)
+		}
+		for {
+			var it seqItem
+			var ok bool
+			select {
+			case it, ok = <-in:
+			case <-ctx.Done():
+				ok = false
+			}
+			if !ok {
+				break
+			}
+			lim.Acquire()
+			c, _ := p.carriers.Get().(*seqItem)
+			if c == nil {
+				c = new(seqItem)
+			}
+			*c = it
+			inFlight.Add(1)
+			ex.Submit(steal.Task{Fn: taskFn, Arg: c})
+		}
+		inFlight.Wait()
+		sink.close()
+		close(out)
+		return
+	}
 
 	// The pool buffer absorbs a full complement of replicas between
 	// dispatcher and workers — sized from the stage's initial replica
@@ -386,17 +599,7 @@ func (p *Pipeline) runStage(ctx context.Context, i int, in <-chan seqItem, out c
 	if poolCap < 8 {
 		poolCap = 8
 	}
-	sink := itemSink{ctx: ctx, out: out}
-	pool := conc.NewPool(lim, poolCap, func(it seqItem) {
-		t0 := time.Now()
-		v, err := fn(ctx, it.v)
-		met.Record(time.Since(t0))
-		if err != nil {
-			fail(fmt.Errorf("pipeline: stage %s item %d: %w", name, it.seq, err))
-			return
-		}
-		sink.put(it.seq, v)
-	})
+	pool := conc.NewPool(lim, poolCap, process)
 	for {
 		var it seqItem
 		var ok bool

@@ -25,6 +25,14 @@ var DefaultGrains = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 // inter-node latency the sweep therefore degenerates to the plain
 // search at grain 1.
 func SearchGrain(s Searcher, g *grid.Grid, spec model.PipelineSpec, loads []float64, grains []int) (int, model.Mapping, model.Prediction, error) {
+	return SearchGrainAvail(s, g, spec, loads, grains, nil)
+}
+
+// SearchGrainAvail is SearchGrain restricted to the available nodes —
+// the form the simulation-driven adaptivity engine calls when nodes
+// have churned out (see SearchAvailable for mask semantics; nil means
+// every node).
+func SearchGrainAvail(s Searcher, g *grid.Grid, spec model.PipelineSpec, loads []float64, grains []int, avail []bool) (int, model.Mapping, model.Prediction, error) {
 	if s == nil {
 		return 0, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: SearchGrain with nil searcher")
 	}
@@ -38,7 +46,7 @@ func SearchGrain(s Searcher, g *grid.Grid, spec model.PipelineSpec, loads []floa
 		if gr < 1 {
 			return 0, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: grain %d below 1", gr)
 		}
-		m, p, err := s.Search(g, spec.AtGrain(gr), loads)
+		m, p, err := SearchAvailable(s, g, spec.AtGrain(gr), loads, avail)
 		if err != nil {
 			return 0, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: grain %d: %w", gr, err)
 		}
@@ -47,4 +55,73 @@ func SearchGrain(s Searcher, g *grid.Grid, spec model.PipelineSpec, loads []floa
 		}
 	}
 	return bestGrain, bestMap, bestPred, nil
+}
+
+// SearchGrainVector extends the granularity axis to one grain per
+// stage boundary: it coordinate-descends over the boundaries, sweeping
+// each one's ladder while holding the others fixed, and repeats until
+// a full pass buys no strict improvement (three passes at most — in
+// practice the walk converges in one or two because boundary grains
+// couple only through shared links).
+//
+// The returned vector indexes like model.PipelineSpec.Grains:
+// vector[i] is the grain entering stage i, vector[0] the head's. The
+// descent starts every boundary at the ladder's first rung and only
+// moves on strictly better predictions, so ties keep the earlier
+// ladder entry — with the ascending default ladder, the finer grain,
+// matching SearchGrain's bias that unpaid batching only costs latency.
+// A spec whose topology admits no per-edge benefit therefore comes
+// back uniform, equal to what SearchGrain would pick.
+func SearchGrainVector(s Searcher, g *grid.Grid, spec model.PipelineSpec, loads []float64, grains []int) ([]int, model.Mapping, model.Prediction, error) {
+	return SearchGrainVectorAvail(s, g, spec, loads, grains, nil)
+}
+
+// SearchGrainVectorAvail is SearchGrainVector restricted to the
+// available nodes (nil mask means every node).
+func SearchGrainVectorAvail(s Searcher, g *grid.Grid, spec model.PipelineSpec, loads []float64, grains []int, avail []bool) ([]int, model.Mapping, model.Prediction, error) {
+	if s == nil {
+		return nil, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: SearchGrainVector with nil searcher")
+	}
+	if len(grains) == 0 {
+		grains = DefaultGrains
+	}
+	for _, gr := range grains {
+		if gr < 1 {
+			return nil, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: grain %d below 1", gr)
+		}
+	}
+	ns := spec.NumStages()
+	vec := make([]int, ns)
+	for i := range vec {
+		vec[i] = grains[0]
+	}
+	bestMap, bestPred, err := SearchAvailable(s, g, spec.AtGrains(vec), loads, avail)
+	if err != nil {
+		return nil, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: grain vector %v: %w", vec, err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		improved := false
+		for b := 0; b < ns; b++ {
+			keep := vec[b]
+			for _, gr := range grains {
+				if gr == keep {
+					continue
+				}
+				vec[b] = gr
+				m, p, err := SearchAvailable(s, g, spec.AtGrains(vec), loads, avail)
+				if err != nil {
+					return nil, model.Mapping{}, model.Prediction{}, fmt.Errorf("sched: grain vector %v: %w", vec, err)
+				}
+				if p.Throughput > bestPred.Throughput {
+					keep, bestMap, bestPred = gr, m, p
+					improved = true
+				}
+			}
+			vec[b] = keep
+		}
+		if !improved {
+			break
+		}
+	}
+	return vec, bestMap, bestPred, nil
 }

@@ -63,6 +63,69 @@ func TestSearchGrainFreeBackplaneStaysPerItem(t *testing.T) {
 	}
 }
 
+// With one boundary's per-batch overhead dominating and the others
+// free, the coordinate descent should coarsen exactly the expensive
+// boundary and keep the free ones per-item — and do at least as well
+// as the uniform sweep.
+func TestSearchGrainVectorPerBoundary(t *testing.T) {
+	g, err := grid.Homogeneous(3, 1, grid.LANLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(3, 0.001, 0)
+	spec.BatchOverheads = []float64{0, 0.05, 0}
+
+	vec, m, p, err := SearchGrainVector(Greedy{}, g, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != spec.NumStages() {
+		t.Fatalf("vector has %d entries, want %d", len(vec), spec.NumStages())
+	}
+	if vec[1] < 64 {
+		t.Fatalf("overhead-dominated boundary got grain %d, want a large one (vector %v)", vec[1], vec)
+	}
+	if vec[0] != 1 || vec[2] != 1 {
+		t.Fatalf("free boundaries should stay per-item, got vector %v", vec)
+	}
+	if err := m.Validate(spec.NumStages(), g.NumNodes()); err != nil {
+		t.Fatalf("invalid mapping: %v", err)
+	}
+	_, direct, err := Greedy{}.Search(g, spec.AtGrains(vec), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput != direct.Throughput {
+		t.Fatalf("descent prediction %v != direct prediction %v at vector %v",
+			p.Throughput, direct.Throughput, vec)
+	}
+	_, _, uniform, err := SearchGrain(Greedy{}, g, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Throughput < uniform.Throughput {
+		t.Fatalf("per-boundary vector %v predicts %v, below uniform sweep's %v",
+			vec, p.Throughput, uniform.Throughput)
+	}
+}
+
+func TestSearchGrainVectorFreeBoundariesStayUniform(t *testing.T) {
+	g, err := grid.Homogeneous(2, 1, grid.LocalLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.Balanced(2, 0.01, 0)
+	vec, _, _, err := SearchGrainVector(Greedy{}, g, spec, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, gr := range vec {
+		if gr != 1 {
+			t.Fatalf("free boundary %d picked grain %d, want 1 (tie to first rung)", b, gr)
+		}
+	}
+}
+
 func TestSearchGrainErrors(t *testing.T) {
 	g, err := grid.Homogeneous(2, 1, grid.LANLink)
 	if err != nil {
@@ -74,5 +137,11 @@ func TestSearchGrainErrors(t *testing.T) {
 	}
 	if _, _, _, err := SearchGrain(Greedy{}, g, spec, nil, []int{0}); err == nil {
 		t.Fatal("grain 0 should error")
+	}
+	if _, _, _, err := SearchGrainVector(nil, g, spec, nil, nil); err == nil {
+		t.Fatal("nil searcher should error for the vector search")
+	}
+	if _, _, _, err := SearchGrainVector(Greedy{}, g, spec, nil, []int{0}); err == nil {
+		t.Fatal("grain 0 should error for the vector search")
 	}
 }
